@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for the table/figure benchmark harness.
+ *
+ * Every bench binary reproduces one table or figure of the paper. The
+ * matrices are synthetic structural analogues (see DESIGN.md), scaled by
+ * NETSPARSE_BENCH_SCALE (default 1.0; the environment variable lets CI
+ * trade fidelity for speed). Absolute numbers differ from the paper -
+ * the matrices are ~100x smaller - but each bench prints the same rows
+ * or series so the qualitative shape can be compared directly.
+ */
+
+#ifndef NETSPARSE_BENCH_COMMON_HH
+#define NETSPARSE_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sparse/generators.hh"
+#include "sparse/partition.hh"
+
+namespace netsparse::bench {
+
+/** Scale factor for benchmark matrices (env NETSPARSE_BENCH_SCALE). */
+inline double
+benchScale(double fallback = 1.0)
+{
+    const char *env = std::getenv("NETSPARSE_BENCH_SCALE");
+    if (!env)
+        return fallback;
+    double v = std::atof(env);
+    return v > 0 ? v : fallback;
+}
+
+/** Number of cluster nodes (env NETSPARSE_BENCH_NODES, default 128). */
+inline std::uint32_t
+benchNodes(std::uint32_t fallback = 128)
+{
+    const char *env = std::getenv("NETSPARSE_BENCH_NODES");
+    if (!env)
+        return fallback;
+    int v = std::atoi(env);
+    return v > 1 ? static_cast<std::uint32_t>(v) : fallback;
+}
+
+/** Print a banner naming the experiment. */
+inline void
+banner(const char *experiment, const char *paper_ref)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n(reproduces %s of the NetSparse paper)\n", experiment,
+                paper_ref);
+    std::printf("==============================================================\n");
+}
+
+} // namespace netsparse::bench
+
+#endif // NETSPARSE_BENCH_COMMON_HH

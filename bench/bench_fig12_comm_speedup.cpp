@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 12: communication speedup of NetSparse and SAOpt over SUOpt on
+ * the 128-node system for K = 1, 16, 128.
+ *
+ * Shape to reproduce: NetSparse beats both baselines on every matrix;
+ * speedups grow with K (SUOpt's redundant traffic hurts more for wide
+ * properties); SAOpt can fall below SUOpt where PR software costs
+ * dominate. Absolute factors are smaller than the paper's because the
+ * synthetic matrices are ~100x smaller, which deflates SU redundancy.
+ */
+
+#include <cmath>
+
+#include "baseline/baselines.hh"
+#include "bench_common.hh"
+#include "runtime/cluster.hh"
+
+using namespace netsparse;
+using namespace netsparse::bench;
+
+int
+main()
+{
+    std::uint32_t nodes = benchNodes();
+    double scale = benchScale(2.0);
+    banner("Communication speedup over SUOpt", "Figure 12");
+    std::printf("(%u nodes, matrix scale %.2f)\n\n", nodes, scale);
+
+    std::printf("%-8s", "matrix");
+    for (std::uint32_t k : {1u, 16u, 128u})
+        std::printf("   SA(K=%-3u) NS(K=%-3u)", k, k);
+    std::printf("\n");
+
+    double gmean_sa[3] = {1, 1, 1}, gmean_ns[3] = {1, 1, 1};
+    int count = 0;
+    for (auto &bm : benchmarkSuite(scale)) {
+        Partition1D part = Partition1D::equalRows(bm.matrix.rows, nodes);
+        std::printf("%-8s", bm.name.c_str());
+        int ki = 0;
+        for (std::uint32_t k : {1u, 16u, 128u}) {
+            BaselineParams bp;
+            BaselineResult su = runSuOpt(bm.matrix, part, k, bp);
+            BaselineResult sa = runSaOpt(bm.matrix, part, k, bp);
+
+            ClusterConfig cfg = defaultClusterConfig(nodes);
+            GatherRunResult ns =
+                ClusterSim(cfg).runGather(bm.matrix, part, k);
+
+            double s_sa = static_cast<double>(su.commTicks) / sa.commTicks;
+            double s_ns = static_cast<double>(su.commTicks) / ns.commTicks;
+            std::printf("   %8.2fx %8.2fx", s_sa, s_ns);
+            gmean_sa[ki] *= s_sa;
+            gmean_ns[ki] *= s_ns;
+            ++ki;
+        }
+        std::printf("\n");
+        ++count;
+    }
+    std::printf("%-8s", "gmean");
+    for (int ki = 0; ki < 3; ++ki) {
+        std::printf("   %8.2fx %8.2fx",
+                    std::pow(gmean_sa[ki], 1.0 / count),
+                    std::pow(gmean_ns[ki], 1.0 / count));
+    }
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 15: sensitivity of NetSparse to the RIG batch size (nonzeros
+ * per RIG command), shown as speedup over a 16k batch.
+ *
+ * Shape to reproduce: an interior optimum - tiny batches expose the
+ * host's command-issue overhead and under-fill the client units; huge
+ * batches serialize each node's stream onto too few units (intra-node
+ * load imbalance). The best point is input-dependent.
+ */
+
+#include "bench_common.hh"
+#include "runtime/cluster.hh"
+
+using namespace netsparse;
+using namespace netsparse::bench;
+
+int
+main()
+{
+    std::uint32_t nodes = benchNodes();
+    double scale = benchScale(1.0);
+    const std::uint32_t k = 16;
+    banner("Sensitivity to RIG batch size (speedup over 16k batches)",
+           "Figure 15");
+    std::printf("(%u nodes, matrix scale %.2f, K=%u)\n\n", nodes, scale,
+                k);
+
+    const std::uint32_t batches[] = {1024, 4096, 16384, 65536, 262144};
+    std::printf("%-8s", "matrix");
+    for (auto b : batches)
+        std::printf("%9uk", b / 1024);
+    std::printf("\n");
+
+    for (auto &bm : benchmarkSuite(scale)) {
+        Partition1D part = Partition1D::equalRows(bm.matrix.rows, nodes);
+        Tick base = 0;
+        std::vector<Tick> times;
+        for (auto b : batches) {
+            ClusterConfig cfg = defaultClusterConfig(nodes);
+            cfg.host.batchSize = b;
+            GatherRunResult r =
+                ClusterSim(cfg).runGather(bm.matrix, part, k);
+            times.push_back(r.commTicks);
+            if (b == 16384)
+                base = r.commTicks;
+        }
+        std::printf("%-8s", bm.name.c_str());
+        for (auto t : times)
+            std::printf("%9.2fx", static_cast<double>(base) / t);
+        std::printf("\n");
+    }
+    return 0;
+}

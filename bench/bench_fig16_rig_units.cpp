@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 16: sensitivity to the number of RIG units per SNIC, as a
+ * speedup over a 2-unit (1 client + 1 server) configuration.
+ *
+ * Shape to reproduce: speedups grow with the unit count and flatten by
+ * 32 units (the paper's design point).
+ */
+
+#include "bench_common.hh"
+#include "runtime/cluster.hh"
+
+using namespace netsparse;
+using namespace netsparse::bench;
+
+int
+main()
+{
+    std::uint32_t nodes = benchNodes();
+    double scale = benchScale(2.0);
+    const std::uint32_t k = 16;
+    banner("Sensitivity to the number of RIG units (speedup over 2)",
+           "Figure 16");
+    std::printf("(%u nodes, matrix scale %.2f, K=%u)\n\n", nodes, scale,
+                k);
+
+    const std::uint32_t unit_counts[] = {2, 4, 8, 16, 32, 64};
+    std::printf("%-8s", "matrix");
+    for (auto u : unit_counts)
+        std::printf("%9u", u);
+    std::printf("\n");
+
+    for (auto &bm : benchmarkSuite(scale)) {
+        Partition1D part = Partition1D::equalRows(bm.matrix.rows, nodes);
+        std::vector<Tick> times;
+        for (auto u : unit_counts) {
+            ClusterConfig cfg = defaultClusterConfig(nodes);
+            cfg.snic.numRigUnits = u;
+            GatherRunResult r =
+                ClusterSim(cfg).runGather(bm.matrix, part, k);
+            times.push_back(r.commTicks);
+        }
+        std::printf("%-8s", bm.name.c_str());
+        for (auto t : times)
+            std::printf("%8.2fx", static_cast<double>(times[0]) / t);
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 17: sensitivity to the concatenation delay (the maximum cycles
+ * a PR may wait in a Concatenation Queue), as speedup over running with
+ * concatenation disabled. The switch delay scales with the NIC delay as
+ * in the paper (125/500 ratio).
+ *
+ * Shape to reproduce: an interior optimum - more waiting packs more PRs
+ * per packet until the added latency outweighs the header savings; with
+ * very large delays performance drops below the no-concatenation
+ * baseline. Matrices with stronger destination locality (queen) gain
+ * the most; europe gains the least.
+ */
+
+#include "bench_common.hh"
+#include "runtime/cluster.hh"
+
+using namespace netsparse;
+using namespace netsparse::bench;
+
+int
+main()
+{
+    std::uint32_t nodes = benchNodes();
+    double scale = benchScale(1.0);
+    const std::uint32_t k = 16;
+    banner("Sensitivity to concatenation delay cycles "
+           "(speedup over no concatenation)",
+           "Figure 17");
+    std::printf("(%u nodes, matrix scale %.2f, K=%u)\n\n", nodes, scale,
+                k);
+
+    const std::uint32_t delays[] = {0, 125, 500, 2000, 10000, 50000};
+    std::printf("%-8s", "matrix");
+    for (auto d : delays)
+        std::printf("%9u", d);
+    std::printf("\n");
+
+    for (auto &bm : benchmarkSuite(scale)) {
+        Partition1D part = Partition1D::equalRows(bm.matrix.rows, nodes);
+
+        // Baseline: concatenation fully disabled (solo packets).
+        ClusterConfig base_cfg = defaultClusterConfig(nodes);
+        base_cfg.features.concatNic = false;
+        base_cfg.features.concatSwitch = false;
+        base_cfg.features.switchCache = false;
+        Tick base =
+            ClusterSim(base_cfg).runGather(bm.matrix, part, k).commTicks;
+
+        std::printf("%-8s", bm.name.c_str());
+        for (auto d : delays) {
+            ClusterConfig cfg = defaultClusterConfig(nodes);
+            cfg.nicConcatDelayCycles = d;
+            cfg.switchConcatDelayCycles = d / 4;
+            GatherRunResult r =
+                ClusterSim(cfg).runGather(bm.matrix, part, k);
+            std::printf("%8.2fx", static_cast<double>(base) / r.commTicks);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 19: inter-node communication imbalance assuming no computation
+ * cost - the number of nodes still actively communicating as execution
+ * progresses (normalized time), from each node's communication volume.
+ *
+ * Shape to reproduce: queen stays near-fully active to the end (its
+ * band partitions evenly); the web crawls and stokes tail off early,
+ * leaving a few overloaded nodes to determine the finish time. The
+ * imbalance comes from the partitioning, not the NetSparse hardware.
+ */
+
+#include "analysis/comm_pattern.hh"
+#include "bench_common.hh"
+
+using namespace netsparse;
+using namespace netsparse::bench;
+
+int
+main()
+{
+    std::uint32_t nodes = benchNodes();
+    double scale = benchScale();
+    banner("Active nodes vs normalized execution time", "Figure 19");
+    std::printf("(%u nodes; volume = unique remote properties + serve "
+                "load per node)\n\n",
+                nodes);
+
+    const std::uint32_t samples = 10;
+    std::printf("%-8s", "matrix");
+    for (std::uint32_t s = 0; s < samples; ++s)
+        std::printf("%6.0f%%", 100.0 * s / samples);
+    std::printf("\n");
+
+    for (auto &bm : benchmarkSuite(scale)) {
+        Partition1D part = Partition1D::equalRows(bm.matrix.rows, nodes);
+        CommPattern cp = analyzeCommPattern(bm.matrix, part);
+
+        // A node is busy while it still receives its unique remote
+        // properties or serves other nodes' requests; both are
+        // per-node wire volumes under sparsity-aware communication.
+        std::vector<std::uint64_t> serve(nodes, 0);
+        std::vector<bool> seen(bm.matrix.cols, false);
+        std::vector<std::uint32_t> touched;
+        for (NodeId n = 0; n < nodes; ++n) {
+            touched.clear();
+            for (std::uint32_t r = part.begin(n); r < part.end(n); ++r) {
+                for (auto col : bm.matrix.rowCols(r)) {
+                    NodeId owner = part.ownerOf(col);
+                    if (owner == n || seen[col])
+                        continue;
+                    seen[col] = true;
+                    touched.push_back(col);
+                    ++serve[owner];
+                }
+            }
+            for (auto col : touched)
+                seen[col] = false;
+        }
+        std::vector<std::uint64_t> volume(nodes);
+        for (NodeId n = 0; n < nodes; ++n)
+            volume[n] = cp.nodes[n].uniqueRemote + serve[n];
+
+        auto prof = activeNodeProfile(volume, samples);
+        std::printf("%-8s", bm.name.c_str());
+        for (auto v : prof)
+            std::printf("%7u", v);
+        std::printf("\n");
+    }
+    return 0;
+}

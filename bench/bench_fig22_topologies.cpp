@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 22: NetSparse communication speedup over SUOpt on three
+ * 128-node networks of similar bisection bandwidth: Leaf-Spine (the
+ * design target), HyperX (4x4x2, width 4) and Dragonfly (4 groups).
+ *
+ * Shape to reproduce: NetSparse stays effective on all three; higher-
+ * diameter networks (HyperX) lose some ground, most visibly for
+ * stokes, whose far-coupling traffic takes the extra hops.
+ */
+
+#include "baseline/baselines.hh"
+#include "bench_common.hh"
+#include "runtime/cluster.hh"
+
+using namespace netsparse;
+using namespace netsparse::bench;
+
+int
+main()
+{
+    double scale = benchScale(1.0);
+    const std::uint32_t nodes = 128; // HyperX/Dragonfly configs are fixed
+    const std::uint32_t k = 16;
+    banner("NetSparse speedup over SUOpt across topologies", "Figure 22");
+    std::printf("(%u nodes, matrix scale %.2f, K=%u)\n\n", nodes, scale,
+                k);
+
+    struct TopoRow
+    {
+        TopologyKind kind;
+        const char *name;
+    };
+    const TopoRow topos[] = {{TopologyKind::LeafSpine, "leaf-spine"},
+                             {TopologyKind::HyperX, "hyperx"},
+                             {TopologyKind::Dragonfly, "dragonfly"}};
+
+    std::printf("%-8s", "matrix");
+    for (const auto &t : topos)
+        std::printf("%12s", t.name);
+    std::printf("\n");
+
+    for (auto &bm : benchmarkSuite(scale)) {
+        Partition1D part = Partition1D::equalRows(bm.matrix.rows, nodes);
+        BaselineParams bp;
+        BaselineResult su = runSuOpt(bm.matrix, part, k, bp);
+
+        std::printf("%-8s", bm.name.c_str());
+        for (const auto &t : topos) {
+            ClusterConfig cfg = defaultClusterConfig(nodes);
+            cfg.topology = t.kind;
+            GatherRunResult r =
+                ClusterSim(cfg).runGather(bm.matrix, part, k);
+            std::printf("%11.2fx",
+                        static_cast<double>(su.commTicks) / r.commTicks);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

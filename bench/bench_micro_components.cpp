@@ -1,0 +1,147 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the core simulator components:
+ * event-queue throughput, Property Cache operations, concatenator
+ * pushes, Pending PR Table ops, Idx Filter probes, SpMM kernel and
+ * matrix generation. These gate the wall-clock cost of the large
+ * table/figure reproductions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/property_cache.hh"
+#include "concat/concatenator.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "snic/idx_filter.hh"
+#include "snic/pending_table.hh"
+#include "sparse/generators.hh"
+#include "sparse/kernels.hh"
+
+using namespace netsparse;
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t sum = 0;
+        for (int i = 0; i < n; ++i)
+            eq.schedule(static_cast<Tick>(splitmix64(i) % 100000),
+                        [&sum] { ++sum; });
+        eq.run();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1 << 12)->Arg(1 << 16);
+
+void
+BM_PropertyCacheLookupInsert(benchmark::State &state)
+{
+    PropertyCacheConfig cfg;
+    cfg.totalBytes = 4 << 20;
+    PropertyCache cache(cfg);
+    cache.configureForKernel(64);
+    Rng rng(1);
+    std::vector<PropIdx> idxs(4096);
+    for (auto &i : idxs)
+        i = rng.uniformInt(0, 1 << 20);
+    std::size_t cursor = 0;
+    for (auto _ : state) {
+        PropIdx idx = idxs[cursor++ & 4095];
+        std::uint64_t csum;
+        if (!cache.lookup(idx, csum))
+            cache.insert(idx, idx);
+        benchmark::DoNotOptimize(csum);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PropertyCacheLookupInsert);
+
+void
+BM_ConcatenatorPush(benchmark::State &state)
+{
+    EventQueue eq;
+    ConcatConfig cfg;
+    cfg.delay = 100 * ticks::ns;
+    std::uint64_t packets = 0;
+    Concatenator cc(eq, cfg, [&](Packet &&) { ++packets; });
+    PropIdx idx = 0;
+    for (auto _ : state) {
+        PropertyRequest pr;
+        pr.type = PrType::Read;
+        pr.idx = idx++;
+        cc.push(std::move(pr), static_cast<NodeId>(idx % 64));
+        if ((idx & 1023) == 0)
+            eq.runUntil(eq.now() + 1 * ticks::us);
+    }
+    benchmark::DoNotOptimize(packets);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConcatenatorPush);
+
+void
+BM_PendingTableCycle(benchmark::State &state)
+{
+    PendingPrTable table(256);
+    PropIdx idx = 0;
+    for (auto _ : state) {
+        table.insert(idx);
+        benchmark::DoNotOptimize(table.contains(idx));
+        table.complete(idx);
+        ++idx;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PendingTableCycle);
+
+void
+BM_IdxFilterProbe(benchmark::State &state)
+{
+    IdxFilter filter(1 << 24);
+    Rng rng(2);
+    std::vector<PropIdx> idxs(4096);
+    for (auto &i : idxs)
+        i = rng.uniformInt(0, (1 << 24) - 1);
+    std::size_t cursor = 0;
+    for (auto _ : state) {
+        PropIdx idx = idxs[cursor++ & 4095];
+        if (!filter.test(idx))
+            filter.set(idx);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IdxFilterProbe);
+
+void
+BM_SpmmKernel(benchmark::State &state)
+{
+    Csr m = makeBenchmarkMatrix(MatrixKind::Queen, 0.02);
+    const std::uint32_t k = 16;
+    std::vector<float> x(static_cast<std::size_t>(m.cols) * k, 1.0f);
+    for (auto _ : state) {
+        auto y = spmm(m, x, k);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * m.nnz() * k);
+}
+BENCHMARK(BM_SpmmKernel);
+
+void
+BM_MatrixGeneration(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Csr m = makeBenchmarkMatrix(MatrixKind::Arabic, 0.05);
+        benchmark::DoNotOptimize(m.colIdx.data());
+        state.counters["nnz"] = static_cast<double>(m.nnz());
+    }
+}
+BENCHMARK(BM_MatrixGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Table 2: transfer rate, line utilization and goodput of a naive
+ * (fine-grained RDMA, no aggregation) SA implementation on a 2-node
+ * Slingshot-like setup with K=32.
+ *
+ * Paper values: rates 0.2-0.7 Gbps, line utilization 0.09-0.36%,
+ * goodput 0.04-0.16% - i.e. orders of magnitude below the line rate,
+ * which is the motivation for offloading PR generation to hardware.
+ */
+
+#include "baseline/baselines.hh"
+#include "bench_common.hh"
+
+using namespace netsparse;
+using namespace netsparse::bench;
+
+int
+main()
+{
+    banner("Naive SA transfer rate on 2 nodes (K=32)", "Table 2");
+    double scale = benchScale();
+    NaiveSaParams p;
+
+    std::printf("%-8s %14s %12s %10s\n", "matrix", "rate(Gbps)",
+                "line util", "goodput");
+    for (auto &bm : benchmarkSuite(scale)) {
+        if (bm.kind == MatrixKind::Stokes)
+            continue; // Table 2 reports arabic, europe, queen, uk
+        NaiveSaResult r = runNaiveSa2Node(bm.matrix, 32, p);
+        std::printf("%-8s %14.2f %11.2f%% %9.2f%%\n", bm.name.c_str(),
+                    r.transferRateGbps, 100.0 * r.lineUtilization,
+                    100.0 * r.goodput);
+    }
+    return 0;
+}

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Table 4: average number of unique remote destination nodes among 64
+ * consecutive PRs from a node, in a 128-node system.
+ *
+ * Paper values: arabic 2.51, europe 7.43, queen 1.00, stokes 1.85,
+ * uk 5.61. Low values mean strong temporal remote destination locality,
+ * which is what makes PR concatenation effective (Figure 17).
+ */
+
+#include "analysis/comm_pattern.hh"
+#include "bench_common.hh"
+
+using namespace netsparse;
+using namespace netsparse::bench;
+
+int
+main()
+{
+    banner("Temporal remote destination locality", "Table 4");
+    std::uint32_t nodes = benchNodes();
+    double scale = benchScale();
+
+    std::printf("%-8s %26s\n", "matrix", "unique dests / 64 PRs");
+    for (auto &bm : benchmarkSuite(scale)) {
+        Partition1D part = Partition1D::equalRows(bm.matrix.rows, nodes);
+        double u = avgUniqueDestinations(bm.matrix, part, 64);
+        std::printf("%-8s %26.2f\n", bm.name.c_str(), u);
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Table 7: tail-node performance statistics for NetSparse at K=16, plus
+ * the comparison columns against SUOpt (traffic) and SAOpt (goodput and
+ * PR count).
+ *
+ * Paper shapes: high F+C rates for the reuse-heavy matrices (arabic,
+ * queen, stokes) and a low one for europe; many PRs per packet; cache
+ * hit rates highest for arabic/queen/uk and lowest for europe/stokes;
+ * NetSparse goodput far above SAOpt's; fewer PRs than SAOpt thanks to
+ * node-wide (rather than per-rank) filtering.
+ */
+
+#include "baseline/baselines.hh"
+#include "bench_common.hh"
+#include "runtime/cluster.hh"
+
+using namespace netsparse;
+using namespace netsparse::bench;
+
+int
+main()
+{
+    std::uint32_t nodes = benchNodes();
+    double scale = benchScale(2.0);
+    const std::uint32_t k = 16;
+    banner("Tail-node statistics for NetSparse (K=16)", "Table 7");
+    std::printf("(%u nodes, matrix scale %.2f)\n\n", nodes, scale);
+
+    std::printf("%-8s %6s %8s %7s %6s %6s %9s %8s %8s\n", "matrix",
+                "F+C", "PR/pkt", "cache", "Gput", "LUtil", "-TrfcSU",
+                "GputSA", "-#PRvSA");
+    for (auto &bm : benchmarkSuite(scale)) {
+        Partition1D part = Partition1D::equalRows(bm.matrix.rows, nodes);
+
+        ClusterConfig cfg = defaultClusterConfig(nodes);
+        GatherRunResult r = ClusterSim(cfg).runGather(bm.matrix, part, k);
+        const NodeRunStats &tail = r.tail();
+
+        BaselineParams bp;
+        BaselineResult sa = runSaOpt(bm.matrix, part, k, bp);
+
+        double tail_pr_per_pkt =
+            tail.rxPackets ? static_cast<double>(tail.rxResponses +
+                                                 tail.rxReads) /
+                                 tail.rxPackets
+                           : 0.0;
+        // SUOpt delivers every non-local property to the tail node.
+        double su_bytes = static_cast<double>(bm.matrix.cols -
+                                              part.size(r.tailNode)) *
+                          4.0 * k;
+        double trfc_vs_su =
+            tail.rxBytes ? su_bytes / tail.rxBytes : 0.0;
+
+        std::uint64_t ns_prs = 0, sa_prs = 0;
+        for (NodeId n = 0; n < nodes; ++n) {
+            ns_prs += r.nodes[n].prsIssued;
+            sa_prs += sa.perNodePrs[n];
+        }
+        double pr_vs_sa =
+            ns_prs ? static_cast<double>(sa_prs) / ns_prs : 0.0;
+
+        std::printf("%-8s %5.0f%% %8.1f %6.0f%% %5.0f%% %5.0f%% %8.1fx "
+                    "%7.1f%% %7.2fx\n",
+                    bm.name.c_str(), 100.0 * tail.fcRate(),
+                    tail_pr_per_pkt, 100.0 * r.cacheHitRate(),
+                    100.0 * r.tailGoodput, 100.0 * r.tailLineUtil,
+                    trfc_vs_su, 100.0 * sa.tailGoodput, pr_vs_sa);
+    }
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Table 8: ablation study. NetSparse mechanisms are applied
+ * cumulatively (RIG -> +Filter -> +Coalesce -> +ConcNIC -> +Switch) on
+ * arabic (denser reuse) and europe (sparser), for K = 1, 16, 128;
+ * speedup and tail traffic reduction are relative to SUOpt.
+ *
+ * Shape to reproduce: for arabic, filtering/coalescing contribute the
+ * bulk; for europe, RIG offload itself is the dominant win and
+ * filtering adds little; concatenation helps small K most; the switch
+ * stage adds cross-node concatenation and cache traffic savings.
+ */
+
+#include "baseline/baselines.hh"
+#include "bench_common.hh"
+#include "runtime/cluster.hh"
+
+using namespace netsparse;
+using namespace netsparse::bench;
+
+int
+main()
+{
+    std::uint32_t nodes = benchNodes();
+    double scale = benchScale(1.0);
+    banner("Cumulative ablation vs SUOpt", "Table 8");
+    std::printf("(%u nodes, matrix scale %.2f)\n", nodes, scale);
+
+    for (MatrixKind kind : {MatrixKind::Arabic, MatrixKind::Europe}) {
+        Csr m = makeBenchmarkMatrix(kind, scale);
+        Partition1D part = Partition1D::equalRows(m.rows, nodes);
+        std::printf("\n--- %s ---\n", matrixName(kind));
+        std::printf("%-10s", "stage");
+        for (std::uint32_t k : {1u, 16u, 128u})
+            std::printf("      Spd%-3u -Trfc%-3u  Gput%-3u", k, k, k);
+        std::printf("\n");
+
+        for (std::uint32_t stage = 0; stage <= 4; ++stage) {
+            std::printf("%-10s", FeatureSet::stageName(stage));
+            for (std::uint32_t k : {1u, 16u, 128u}) {
+                BaselineParams bp;
+                BaselineResult su = runSuOpt(m, part, k, bp);
+                ClusterConfig cfg = defaultClusterConfig(nodes);
+                cfg.features = FeatureSet::ablationStage(stage);
+                GatherRunResult r = ClusterSim(cfg).runGather(m, part, k);
+
+                double spd =
+                    static_cast<double>(su.commTicks) / r.commTicks;
+                double su_bytes =
+                    static_cast<double>(m.cols - part.size(r.tailNode)) *
+                    4.0 * k;
+                double trfc = r.tail().rxBytes
+                                  ? su_bytes / r.tail().rxBytes
+                                  : 0.0;
+                std::printf("   %7.2fx %7.1fx %6.1f%%", spd, trfc,
+                            100.0 * r.tailGoodput);
+            }
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * netsparse_sim: the command-line front end to the cluster simulator.
+ *
+ * Runs one distributed gather with full control over the workload and
+ * the hardware configuration, and prints either a human summary or the
+ * complete stats registry. This is the tool a user points at their own
+ * Matrix Market file to see what NetSparse would do for their workload.
+ *
+ * Usage:
+ *   netsparse_sim [options]
+ *     --matrix NAME|FILE   arabic|europe|queen|stokes|uk or a .mtx path
+ *                          (default arabic)
+ *     --scale S            generator scale factor        (default 1.0)
+ *     --nodes N            cluster size                  (default 128)
+ *     --k K                property elements, 1..128     (default 16)
+ *     --stage S            ablation stage 0..4           (default full)
+ *     --topology T         leafspine|hyperx|dragonfly
+ *     --batch B            RIG batch size (0 = auto)
+ *     --adaptive           adaptive batch policy (Section 9.4)
+ *     --virtual-cqs        virtualized concatenation queues (Section 7.2)
+ *     --no-cache           disable the Property Cache
+ *     --cache-bytes B      Property Cache capacity per ToR
+ *     --partition P        rows|nnz                      (default rows)
+ *     --stats              dump the full stats registry
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "runtime/cluster.hh"
+#include "sim/stats.hh"
+#include "sparse/generators.hh"
+#include "sparse/mmio.hh"
+
+using namespace netsparse;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--matrix NAME|FILE] [--scale S] [--nodes N]"
+                 " [--k K]\n"
+                 "  [--stage 0..4] [--topology leafspine|hyperx|"
+                 "dragonfly]\n"
+                 "  [--batch B] [--adaptive] [--virtual-cqs] "
+                 "[--no-cache]\n"
+                 "  [--cache-bytes B] [--partition rows|nnz] [--stats]\n",
+                 argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string matrix_arg = "arabic";
+    double scale = 1.0;
+    std::uint32_t nodes = 128;
+    std::uint32_t k = 16;
+    int stage = -1;
+    std::string topology = "leafspine";
+    std::uint32_t batch = 0;
+    bool adaptive = false, virtual_cqs = false, no_cache = false;
+    std::uint64_t cache_bytes = 0;
+    std::string partition = "rows";
+    bool dump_stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (++i >= argc)
+                usage(argv[0]);
+            return argv[i];
+        };
+        if (a == "--matrix")
+            matrix_arg = next();
+        else if (a == "--scale")
+            scale = std::atof(next());
+        else if (a == "--nodes")
+            nodes = std::atoi(next());
+        else if (a == "--k")
+            k = std::atoi(next());
+        else if (a == "--stage")
+            stage = std::atoi(next());
+        else if (a == "--topology")
+            topology = next();
+        else if (a == "--batch")
+            batch = std::atoi(next());
+        else if (a == "--adaptive")
+            adaptive = true;
+        else if (a == "--virtual-cqs")
+            virtual_cqs = true;
+        else if (a == "--no-cache")
+            no_cache = true;
+        else if (a == "--cache-bytes")
+            cache_bytes = std::strtoull(next(), nullptr, 0);
+        else if (a == "--partition")
+            partition = next();
+        else if (a == "--stats")
+            dump_stats = true;
+        else
+            usage(argv[0]);
+    }
+    if (k < 1 || k > 128 || nodes < 2)
+        usage(argv[0]);
+
+    // --- Workload ---
+    Csr m;
+    bool named = false;
+    for (auto kind : allMatrixKinds()) {
+        if (matrix_arg == matrixName(kind)) {
+            m = makeBenchmarkMatrix(kind, scale);
+            named = true;
+        }
+    }
+    if (!named) {
+        Coo coo = readMatrixMarketFile(matrix_arg);
+        if (coo.rows != coo.cols) {
+            std::fprintf(stderr,
+                         "distributed gathers need a square matrix\n");
+            return 1;
+        }
+        m = Csr::fromCoo(coo);
+    }
+    Partition1D part = partition == "nnz"
+                           ? Partition1D::equalNnz(m, nodes)
+                           : Partition1D::equalRows(m.rows, nodes);
+
+    // --- Cluster ---
+    ClusterConfig cfg = defaultClusterConfig(nodes);
+    if (stage >= 0)
+        cfg.features = FeatureSet::ablationStage(
+            static_cast<std::uint32_t>(stage));
+    if (topology == "hyperx")
+        cfg.topology = TopologyKind::HyperX;
+    else if (topology == "dragonfly")
+        cfg.topology = TopologyKind::Dragonfly;
+    else if (topology != "leafspine")
+        usage(argv[0]);
+    cfg.host.batchSize = batch;
+    if (adaptive) {
+        cfg.host.policy = BatchPolicy::Adaptive;
+        if (batch == 0)
+            cfg.host.batchSize = 4096;
+    }
+    cfg.virtualizedCqs = virtual_cqs;
+    if (no_cache) {
+        cfg.features.switchCache = false;
+    }
+    if (cache_bytes)
+        cfg.propertyCacheBytes = cache_bytes;
+
+    std::printf("netsparse_sim: %s (%u x %u, %zu nnz), %u nodes, K=%u, "
+                "%s\n",
+                matrix_arg.c_str(), m.rows, m.cols, m.nnz(), nodes, k,
+                topology.c_str());
+
+    ClusterSim sim(cfg);
+    GatherRunResult r = sim.runGather(m, part, k);
+
+    if (dump_stats) {
+        StatRegistry reg;
+        r.exportStats(reg);
+        reg.dump(std::cout);
+        return 0;
+    }
+
+    const NodeRunStats &tail = r.tail();
+    std::printf("\ncommunication time : %10.2f us  (tail node %u)\n",
+                ticks::toNs(r.commTicks) / 1e3, r.tailNode);
+    std::printf("PRs issued         : %10llu  (F+C rate %.0f%%)\n",
+                (unsigned long long)(tail.prsIssued), 100 * tail.fcRate());
+    std::printf("PRs per packet     : %10.1f\n", r.avgPrsPerPacket);
+    std::printf("cache hit rate     : %9.0f%%  (%llu PRs served in-"
+                "switch)\n",
+                100 * r.cacheHitRate(),
+                (unsigned long long)r.prsServedByCache);
+    std::printf("tail line util     : %9.1f%%\n", 100 * r.tailLineUtil);
+    std::printf("tail goodput       : %9.1f%%\n", 100 * r.tailGoodput);
+    return 0;
+}

@@ -1,0 +1,180 @@
+#include "analysis/comm_pattern.hh"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/logging.hh"
+
+namespace netsparse {
+
+CommPattern
+analyzeCommPattern(const Csr &m, const Partition1D &part,
+                   std::uint32_t nodesPerRack)
+{
+    const std::uint32_t parts = part.numParts();
+    CommPattern out;
+    out.nodes.resize(parts);
+
+    // One reusable membership bitmap over the column space.
+    std::vector<bool> seen(m.cols, false);
+    std::vector<std::uint32_t> touched;
+
+    for (NodeId node = 0; node < parts; ++node) {
+        NodeCommStats &st = out.nodes[node];
+        RackId rack = nodesPerRack ? node / nodesPerRack : node;
+        touched.clear();
+        for (std::uint32_t r = part.begin(node); r < part.end(node); ++r) {
+            for (auto c : m.rowCols(r)) {
+                ++st.nnz;
+                NodeId owner = part.ownerOf(c);
+                if (owner == node)
+                    continue;
+                ++st.remoteNnz;
+                if (!seen[c]) {
+                    seen[c] = true;
+                    touched.push_back(c);
+                    ++st.uniqueRemote;
+                    RackId owner_rack =
+                        nodesPerRack ? owner / nodesPerRack : owner;
+                    if (owner_rack != rack)
+                        ++st.uniqueRemoteOffRack;
+                }
+            }
+        }
+        st.suReceived = m.cols - part.size(node);
+        for (auto c : touched)
+            seen[c] = false;
+
+        out.totalUseful += st.uniqueRemote;
+        out.totalRemoteNnz += st.remoteNnz;
+        out.totalSuReceived += st.suReceived;
+    }
+    return out;
+}
+
+double
+avgUniqueDestinations(const Csr &m, const Partition1D &part,
+                      std::uint32_t window)
+{
+    ns_assert(window > 0, "window must be positive");
+    const std::uint32_t parts = part.numParts();
+
+    double window_sum = 0.0;
+    std::uint64_t window_count = 0;
+
+    std::vector<std::uint32_t> last_seen(parts, 0);
+    std::uint32_t epoch = 0;
+
+    for (NodeId node = 0; node < parts; ++node) {
+        std::uint32_t in_window = 0;
+        std::uint32_t unique = 0;
+        for (std::uint32_t r = part.begin(node); r < part.end(node); ++r) {
+            for (auto c : m.rowCols(r)) {
+                NodeId owner = part.ownerOf(c);
+                if (owner == node)
+                    continue;
+                if (in_window == 0) {
+                    ++epoch;
+                    unique = 0;
+                }
+                if (last_seen[owner] != epoch) {
+                    last_seen[owner] = epoch;
+                    ++unique;
+                }
+                if (++in_window == window) {
+                    window_sum += unique;
+                    ++window_count;
+                    in_window = 0;
+                }
+            }
+        }
+        // Partial trailing windows are dropped, matching the paper's
+        // "64 consecutive PRs" methodology.
+    }
+    return window_count ? window_sum / window_count : 0.0;
+}
+
+double
+rackSharingFraction(const Csr &m, const Partition1D &part,
+                    std::uint32_t nodesPerRack, std::uint32_t minSharers)
+{
+    ns_assert(nodesPerRack > 0, "rack size must be positive");
+    const std::uint32_t parts = part.numParts();
+    const std::uint32_t racks = (parts + nodesPerRack - 1) / nodesPerRack;
+
+    std::uint64_t shared_pairs = 0;
+    std::uint64_t total_pairs = 0;
+
+    // Per-rack map: off-rack property -> number of rack nodes needing it.
+    std::unordered_map<std::uint32_t, std::uint32_t> sharers;
+    std::vector<bool> seen(m.cols, false);
+    std::vector<std::uint32_t> touched;
+
+    for (RackId rack = 0; rack < racks; ++rack) {
+        sharers.clear();
+        NodeId first = rack * nodesPerRack;
+        NodeId last = std::min<NodeId>(first + nodesPerRack, parts);
+        for (NodeId node = first; node < last; ++node) {
+            touched.clear();
+            for (std::uint32_t r = part.begin(node); r < part.end(node);
+                 ++r) {
+                for (auto c : m.rowCols(r)) {
+                    NodeId owner = part.ownerOf(c);
+                    if (owner == node)
+                        continue;
+                    if (owner / nodesPerRack == rack)
+                        continue; // homed inside the rack
+                    if (!seen[c]) {
+                        seen[c] = true;
+                        touched.push_back(c);
+                        ++sharers[c];
+                    }
+                }
+            }
+            for (auto c : touched)
+                seen[c] = false;
+        }
+        for (const auto &[c, count] : sharers) {
+            total_pairs += count;
+            if (count >= minSharers)
+                shared_pairs += count;
+        }
+    }
+    return total_pairs ? static_cast<double>(shared_pairs) /
+                             static_cast<double>(total_pairs)
+                       : 0.0;
+}
+
+double
+headerShare(std::uint32_t kElems, std::uint32_t headerBytes)
+{
+    double payload = 4.0 * kElems;
+    return headerBytes / (headerBytes + payload);
+}
+
+std::vector<std::uint32_t>
+activeNodeProfile(const std::vector<std::uint64_t> &perNodeVolume,
+                  std::uint32_t samples)
+{
+    ns_assert(samples > 0, "need at least one sample");
+    std::uint64_t max_volume = 0;
+    for (auto v : perNodeVolume)
+        max_volume = std::max(max_volume, v);
+
+    std::vector<std::uint32_t> profile(samples, 0);
+    if (max_volume == 0)
+        return profile;
+
+    for (std::uint32_t s = 0; s < samples; ++s) {
+        double t = static_cast<double>(s) / samples * max_volume;
+        std::uint32_t active = 0;
+        for (auto v : perNodeVolume) {
+            if (static_cast<double>(v) > t)
+                ++active;
+        }
+        profile[s] = active;
+    }
+    return profile;
+}
+
+} // namespace netsparse

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Static communication-pattern analytics over a partitioned sparse
+ * matrix. These reproduce the motivation studies of Section 3:
+ *
+ *  - SU / SA useful-to-redundant transfer ratios (Table 1)
+ *  - packet-header share of SA traffic (Table 3)
+ *  - temporal remote destination locality (Table 4)
+ *  - intra-rack property-sharing potential (Section 3)
+ *  - inter-node communication imbalance (Figure 19)
+ *
+ * Everything here is exact counting on the matrix structure; no
+ * event-driven simulation is involved.
+ */
+
+#ifndef NETSPARSE_ANALYSIS_COMM_PATTERN_HH
+#define NETSPARSE_ANALYSIS_COMM_PATTERN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+#include "sparse/csr.hh"
+#include "sparse/partition.hh"
+
+namespace netsparse {
+
+/** Per-node communication counts for one kernel iteration. */
+struct NodeCommStats
+{
+    /** Nonzeros owned by the node. */
+    std::uint64_t nnz = 0;
+    /** Nonzeros whose input property is remote (= vanilla SA PRs). */
+    std::uint64_t remoteNnz = 0;
+    /** Distinct remote properties the node actually needs ("useful"). */
+    std::uint64_t uniqueRemote = 0;
+    /** Of those, distinct properties homed outside the node's rack. */
+    std::uint64_t uniqueRemoteOffRack = 0;
+    /** Properties the node would receive under SU (all non-local ones). */
+    std::uint64_t suReceived = 0;
+};
+
+/** Whole-cluster communication pattern summary. */
+struct CommPattern
+{
+    std::vector<NodeCommStats> nodes;
+
+    std::uint64_t totalUseful = 0;
+    std::uint64_t totalRemoteNnz = 0;
+    std::uint64_t totalSuReceived = 0;
+
+    /** Redundant SU transfers per useful one (Table 1, row SU). */
+    double
+    suRedundancyRatio() const
+    {
+        if (totalUseful == 0)
+            return 0.0;
+        return static_cast<double>(totalSuReceived - totalUseful) /
+               static_cast<double>(totalUseful);
+    }
+
+    /** Redundant SA transfers per useful one (Table 1, row SA). */
+    double
+    saRedundancyRatio() const
+    {
+        if (totalUseful == 0)
+            return 0.0;
+        return static_cast<double>(totalRemoteNnz - totalUseful) /
+               static_cast<double>(totalUseful);
+    }
+};
+
+/**
+ * Count the pattern stats for @p m under @p part.
+ *
+ * @param nodesPerRack group size used for the off-rack split; pass 0 to
+ *        treat every node as its own rack (no off-rack stats).
+ */
+CommPattern analyzeCommPattern(const Csr &m, const Partition1D &part,
+                               std::uint32_t nodesPerRack = 0);
+
+/**
+ * Table 4: the average number of distinct destination nodes among
+ * @p window consecutive (unfiltered) PRs issued by a node, averaged over
+ * all full windows of all nodes.
+ */
+double avgUniqueDestinations(const Csr &m, const Partition1D &part,
+                             std::uint32_t window = 64);
+
+/**
+ * Section 3 sharing study: the fraction of useful (node, property) pairs,
+ * where the property is homed outside the node's rack, whose property is
+ * useful to at least @p minSharers nodes of that same rack.
+ */
+double rackSharingFraction(const Csr &m, const Partition1D &part,
+                           std::uint32_t nodesPerRack,
+                           std::uint32_t minSharers = 2);
+
+/**
+ * Table 3: fraction of SA traffic consumed by headers when each PR
+ * travels alone, for a property of @p kElems 4-byte elements.
+ */
+double headerShare(std::uint32_t kElems, std::uint32_t headerBytes = 78);
+
+/**
+ * Figure 19: given per-node communication volumes, the number of nodes
+ * still active at each of @p samples evenly spaced normalized times,
+ * assuming every node drains its volume at an equal rate.
+ */
+std::vector<std::uint32_t>
+activeNodeProfile(const std::vector<std::uint64_t> &perNodeVolume,
+                  std::uint32_t samples);
+
+} // namespace netsparse
+
+#endif // NETSPARSE_ANALYSIS_COMM_PATTERN_HH

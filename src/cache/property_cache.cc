@@ -1,0 +1,130 @@
+#include "cache/property_cache.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace netsparse {
+
+std::uint32_t
+segmentEnableMask(std::uint32_t numSegments,
+                  std::uint32_t segmentsPerEntry,
+                  std::uint32_t segmentBits)
+{
+    ns_assert(segmentsPerEntry > 0 && segmentsPerEntry <= numSegments,
+              "bad segments per entry");
+    ns_assert(numSegments % segmentsPerEntry == 0,
+              "segments per entry must divide the segment count");
+    // In Mode S, the selector ignores the low log2(segmentsPerEntry)
+    // segment bits and enables the whole aligned group.
+    std::uint32_t group = (segmentBits % numSegments) / segmentsPerEntry;
+    std::uint32_t mask =
+        segmentsPerEntry == 32 ? 0xffffffffu
+                               : ((1u << segmentsPerEntry) - 1u);
+    return mask << (group * segmentsPerEntry);
+}
+
+PropertyCache::PropertyCache(const PropertyCacheConfig &cfg) : cfg_(cfg)
+{
+    ns_assert(cfg_.ways > 0, "cache needs at least one way");
+    ns_assert(cfg_.minLineBytes > 0 &&
+                  cfg_.maxLineBytes % cfg_.minLineBytes == 0,
+              "line sizes must nest");
+    configureForKernel(cfg_.minLineBytes);
+}
+
+void
+PropertyCache::configureForKernel(std::uint32_t propertyBytes)
+{
+    if (!enabled()) {
+        lineBytes_ = cfg_.minLineBytes;
+        numSets_ = 0;
+        ways_.clear();
+        return;
+    }
+    if (propertyBytes > cfg_.maxLineBytes) {
+        ns_fatal("property size ", propertyBytes,
+                 " exceeds the largest cache line ", cfg_.maxLineBytes,
+                 "; tile the property array (Section 6.2.2)");
+    }
+    // Round the mode up to the next supported line size.
+    lineBytes_ = cfg_.minLineBytes;
+    while (lineBytes_ < propertyBytes)
+        lineBytes_ *= 2;
+
+    std::uint64_t entries = cfg_.totalBytes / lineBytes_;
+    numSets_ = std::max<std::uint64_t>(1, entries / cfg_.ways);
+    ways_.assign(numSets_ * cfg_.ways, Way{});
+    useClock_ = 0;
+}
+
+void
+PropertyCache::invalidateAll()
+{
+    for (auto &w : ways_)
+        w.valid = false;
+}
+
+bool
+PropertyCache::lookup(PropIdx idx, std::uint64_t &checksum)
+{
+    if (!enabled())
+        return false;
+    ++lookups_;
+    std::uint64_t s = idx % numSets_;
+    std::uint64_t tag = idx / numSets_;
+    Way *ws = set(s);
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (ws[w].valid && ws[w].tag == tag) {
+            ++hits_;
+            ws[w].lastUse = ++useClock_;
+            checksum = ws[w].checksum;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+PropertyCache::insert(PropIdx idx, std::uint64_t checksum)
+{
+    if (!enabled())
+        return false;
+    std::uint64_t s = idx % numSets_;
+    std::uint64_t tag = idx / numSets_;
+    Way *ws = set(s);
+
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (ws[w].valid && ws[w].tag == tag) {
+            ++duplicateInserts_;
+            return false;
+        }
+    }
+    // Prefer an invalid way; otherwise evict the least recently used.
+    Way *victim = nullptr;
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (!ws[w].valid) {
+            victim = &ws[w];
+            break;
+        }
+        if (!victim || ws[w].lastUse < victim->lastUse)
+            victim = &ws[w];
+    }
+    ns_assert(victim, "no victim way found");
+    if (victim->valid)
+        ++evictions_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->checksum = checksum;
+    victim->lastUse = ++useClock_;
+    ++inserts_;
+    return true;
+}
+
+void
+PropertyCache::resetStats()
+{
+    lookups_ = hits_ = inserts_ = evictions_ = duplicateInserts_ = 0;
+}
+
+} // namespace netsparse

@@ -1,0 +1,75 @@
+#include "compute/models.hh"
+
+#include <vector>
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace netsparse {
+
+Tick
+ComputeDevice::time(const KernelCost &cost) const
+{
+    ns_assert(peakMacsPerSec > 0 && memBytesPerSec > 0 && efficiency > 0,
+              "compute device ", name, " not configured");
+    double flop_time = static_cast<double>(cost.flops) / peakMacsPerSec;
+    double mem_time = static_cast<double>(cost.bytes) / memBytesPerSec;
+    double t = std::max(flop_time, mem_time) / efficiency;
+    return ticks::fromSeconds(t);
+}
+
+ComputeDevice
+spadeAccelerator()
+{
+    // 128 PEs x 1 GHz, one MAC per PE per cycle; 800 GB/s HBM.
+    return {"spade", 128e9, 800e9, 0.7};
+}
+
+ComputeDevice
+cpuDdr()
+{
+    // 48 cores x 2 AVX-512 FMA units x 16 lanes x ~2 GHz.
+    return {"cpu-ddr", 48 * 2.0 * 16 * 2e9, 270e9, 0.55};
+}
+
+ComputeDevice
+cpuHbm()
+{
+    return {"cpu-hbm", 56 * 2.0 * 16 * 2e9, 800e9, 0.55};
+}
+
+Tick
+spmmTime(const ComputeDevice &dev, std::uint64_t nnz, std::uint64_t rows,
+         std::uint32_t k)
+{
+    return dev.time(spmmCost(nnz, rows, k));
+}
+
+Tick
+spmmTimePeLevel(const ComputeDevice &dev, const Csr &m,
+                std::uint32_t row0, std::uint32_t row1, std::uint32_t k,
+                std::uint32_t num_pes)
+{
+    ns_assert(row1 <= m.rows && row0 <= row1, "bad row range");
+    ns_assert(num_pes > 0, "need at least one PE");
+    // Per-PE nonzero and row totals under round-robin row dealing.
+    std::vector<std::uint64_t> pe_nnz(num_pes, 0), pe_rows(num_pes, 0);
+    for (std::uint32_t r = row0; r < row1; ++r) {
+        std::uint32_t pe = (r - row0) % num_pes;
+        pe_nnz[pe] += m.rowDegree(r);
+        ++pe_rows[pe];
+    }
+    // Each PE owns 1/num_pes of the compute and memory roofline.
+    ComputeDevice pe_dev = dev;
+    pe_dev.peakMacsPerSec /= num_pes;
+    pe_dev.memBytesPerSec /= num_pes;
+    Tick worst = 0;
+    for (std::uint32_t pe = 0; pe < num_pes; ++pe)
+        worst = std::max(worst,
+                         pe_dev.time(spmmCost(pe_nnz[pe], pe_rows[pe],
+                                              k)));
+    return worst;
+}
+
+} // namespace netsparse

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Roofline compute-time models for the per-node computation phase.
+ *
+ * The paper pairs every node with a SPADE accelerator (128 PEs at 1 GHz
+ * with 800 GB/s HBM, Table 5) for Figures 13/14, and with Sapphire
+ * Rapids CPUs (DDR or HBM, Section 9.6) for Figure 21. End-to-end
+ * results only need each node's compute time for its share of the
+ * kernel; a bandwidth/compute roofline over the kernel's exact
+ * operation and byte counts reproduces those ratios.
+ */
+
+#ifndef NETSPARSE_COMPUTE_MODELS_HH
+#define NETSPARSE_COMPUTE_MODELS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+#include "sparse/kernels.hh"
+
+namespace netsparse {
+
+/** A roofline device: peak MACs/s and sustained memory bandwidth. */
+struct ComputeDevice
+{
+    std::string name;
+    /** Peak multiply-accumulates per second. */
+    double peakMacsPerSec = 0.0;
+    /** Sustained memory bandwidth, bytes per second. */
+    double memBytesPerSec = 0.0;
+    /** Achievable fraction of the roofline (efficiency). */
+    double efficiency = 0.7;
+
+    /** Time to execute a kernel with the given cost. */
+    Tick time(const KernelCost &cost) const;
+};
+
+/** SPADE-like accelerator: 128 PEs at 1 GHz, HBM 64 GB at 800 GB/s. */
+ComputeDevice spadeAccelerator();
+
+/** Sapphire-Rapids-like CPU with DDR (48 cores, 270 GB/s). */
+ComputeDevice cpuDdr();
+
+/** Sapphire-Rapids-like CPU with HBM (56 cores, 800 GB/s). */
+ComputeDevice cpuHbm();
+
+/** SpMM compute time for one node's block. */
+Tick spmmTime(const ComputeDevice &dev, std::uint64_t nnz,
+              std::uint64_t rows, std::uint32_t k);
+
+/**
+ * PE-level SpMM time: rows of the CSR block [row0, row1) are dealt
+ * round-robin over @p num_pes processing elements (SPADE-style); the
+ * slowest PE's roofline time is the block's time. Captures the
+ * intra-node imbalance a flat roofline hides on skewed matrices.
+ */
+Tick spmmTimePeLevel(const ComputeDevice &dev, const Csr &m,
+                     std::uint32_t row0, std::uint32_t row1,
+                     std::uint32_t k, std::uint32_t num_pes = 128);
+
+} // namespace netsparse
+
+#endif // NETSPARSE_COMPUTE_MODELS_HH

@@ -1,0 +1,187 @@
+#include "concat/concatenator.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace netsparse {
+
+Concatenator::Concatenator(EventQueue &eq, ConcatConfig cfg, Emit emit)
+    : eq_(eq), cfg_(cfg), emit_(std::move(emit))
+{
+    ns_assert(emit_, "concatenator needs an emit sink");
+    if (cfg_.virtualized) {
+        ns_assert(cfg_.physicalCqBytes > cfg_.proto.prHeaderBytes,
+                  "physical CQs too small to hold any PR");
+    }
+}
+
+void
+Concatenator::emitSolo(PropertyRequest &&pr, NodeId dest)
+{
+    Packet pkt;
+    pkt.src = pr.src;
+    pkt.dest = dest;
+    pkt.type = pr.type;
+    pkt.concatenated = false;
+    pkt.prs.push_back(std::move(pr));
+    ++packetsEmitted_;
+    prsPerPacket_.sample(1.0);
+    emit_(std::move(pkt));
+}
+
+std::uint32_t
+Concatenator::physicalBlocks(std::uint32_t bytes) const
+{
+    if (bytes == 0)
+        return 0;
+    return (bytes + cfg_.physicalCqBytes - 1) / cfg_.physicalCqBytes;
+}
+
+void
+Concatenator::evictForSpace()
+{
+    // The physical pool is exhausted: concatenate the fullest virtual CQ
+    // into a packet to recycle its blocks.
+    Cq *victim = nullptr;
+    for (auto &[k, cq] : queues_) {
+        if (cq.bytes == 0)
+            continue;
+        if (!victim || cq.bytes > victim->bytes)
+            victim = &cq;
+    }
+    ns_assert(victim, "physical CQ pool exhausted with no occupant");
+    flush(*victim);
+}
+
+void
+Concatenator::push(PropertyRequest &&pr, NodeId dest)
+{
+    ++prsPushed_;
+    if (!cfg_.enabled) {
+        emitSolo(std::move(pr), dest);
+        return;
+    }
+
+    auto &cq = queues_[key(pr.type, dest)];
+    cq.dest = dest;
+    cq.type = pr.type;
+
+    std::uint32_t pr_bytes = cfg_.proto.prWireBytes(pr);
+    std::uint32_t capacity =
+        cfg_.proto.mtuBytes - cfg_.proto.concatBaseBytes();
+    ns_assert(pr_bytes <= capacity, "one PR larger than the MTU: ",
+              pr_bytes, " > ", capacity);
+
+    // A PR that does not fit forces the CQ's current content out first.
+    if (cq.bytes + pr_bytes > capacity) {
+        ++flushesByFill_;
+        flush(cq);
+    }
+
+    if (cfg_.virtualized) {
+        // Allocate physical blocks on demand; recycle when out of pool.
+        while (blocksInUse_ - physicalBlocks(cq.bytes) +
+                   physicalBlocks(cq.bytes + pr_bytes) >
+               cfg_.numPhysicalCqs) {
+            std::uint32_t before = cq.bytes;
+            evictForSpace();
+            // Eviction may have flushed this very CQ.
+            if (cq.bytes < before)
+                break;
+        }
+        blocksInUse_ -= physicalBlocks(cq.bytes);
+        blocksInUse_ += physicalBlocks(cq.bytes + pr_bytes);
+    }
+
+    bool was_empty = cq.prs.empty();
+    cq.prs.push_back(std::move(pr));
+    cq.enterTimes.push_back(eq_.now());
+    cq.bytes += pr_bytes;
+    ++pendingPrs_;
+    occupiedBytes_ += pr_bytes;
+    maxOccupiedBytes_ = std::max(maxOccupiedBytes_, occupiedBytes_);
+
+    if (was_empty)
+        arm(cq);
+
+    // Nothing smaller than a bare PR header can ever arrive, so a CQ with
+    // less than that much room left can only be flushed; do it eagerly.
+    if (cq.bytes + cfg_.proto.prHeaderBytes > capacity) {
+        ++flushesByFill_;
+        flush(cq);
+    }
+}
+
+void
+Concatenator::arm(Cq &cq)
+{
+    if (cfg_.delay == 0) {
+        // Degenerate configuration: PRs never wait; flush immediately.
+        ++flushesByExpiry_;
+        flush(cq);
+        return;
+    }
+    cq.armed = true;
+    ++eqOccupancy_;
+    maxEqOccupancy_ = std::max(maxEqOccupancy_, eqOccupancy_);
+    std::uint64_t generation = cq.generation;
+    Cq *cqp = &cq;
+    eq_.scheduleIn(cfg_.delay, [this, cqp, generation] {
+        --eqOccupancy_;
+        // The EQ entry was cleared if the CQ flushed (filled) meanwhile.
+        if (cqp->generation != generation)
+            return;
+        ++flushesByExpiry_;
+        flush(*cqp);
+    });
+}
+
+void
+Concatenator::flush(Cq &cq)
+{
+    ++cq.generation; // clears any outstanding EQ entry
+    cq.armed = false;
+    if (cq.prs.empty())
+        return;
+
+    Packet pkt;
+    pkt.src = cq.prs.front().src;
+    pkt.dest = cq.dest;
+    pkt.type = cq.type;
+    pkt.concatenated = true;
+    pkt.prs = std::move(cq.prs);
+
+    for (Tick t : cq.enterTimes)
+        prWaitTicks_.sample(static_cast<double>(eq_.now() - t));
+    prsPerPacket_.sample(static_cast<double>(pkt.prs.size()));
+    ++packetsEmitted_;
+
+    pendingPrs_ -= pkt.prs.size();
+    occupiedBytes_ -= cq.bytes;
+    if (cfg_.virtualized)
+        blocksInUse_ -= physicalBlocks(cq.bytes);
+
+    cq.prs.clear();
+    cq.enterTimes.clear();
+    cq.bytes = 0;
+
+    emit_(std::move(pkt));
+}
+
+void
+Concatenator::flushAll()
+{
+    for (auto &[k, cq] : queues_) {
+        if (!cq.prs.empty())
+            flush(cq);
+    }
+}
+
+std::vector<PropertyRequest>
+deconcatenate(Packet &&pkt)
+{
+    return std::move(pkt.prs);
+}
+
+} // namespace netsparse

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * PR concatenation hardware (Section 6.1.2, Figure 7).
+ *
+ * A Concatenation Point holds one Concatenation Queue (CQ) per (PR type,
+ * destination node). PRs wait in their CQ until either the CQ fills to
+ * the MTU or the CQ's Expiration Time (first-arrival time + DelayCycles)
+ * passes; then the CQ's PRs are concatenated into a single packet.
+ *
+ * The hardware tracks expirations with a circular Expiration Time Queue
+ * (EQ) whose head is checked every cycle. Because the delay is a
+ * constant, EQ insertion order equals expiration order, so the simulator
+ * models the EQ with one scheduled event per CQ activation plus a
+ * generation check (an entry "cleared" because its CQ filled early simply
+ * finds a newer generation and does nothing). The EQ occupancy is still
+ * tracked and bounded to 2(N-1) entries, as in the paper.
+ *
+ * The module also implements the virtualized-CQ variant of Section 7.2:
+ * a fixed pool of small "physical" CQs dynamically linked into per-
+ * destination "virtual" CQs, for deployments where 2(N-1) MTU-sized
+ * queues would be wasteful.
+ */
+
+#ifndef NETSPARSE_CONCAT_CONCATENATOR_HH
+#define NETSPARSE_CONCAT_CONCATENATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/protocol.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace netsparse {
+
+/** Configuration of one concatenation point. */
+struct ConcatConfig
+{
+    ProtocolParams proto;
+    /** Max time a PR may wait in a CQ (DelayCycles * clock period). */
+    Tick delay = 0;
+    /** When false, every PR is emitted immediately as a solo packet. */
+    bool enabled = true;
+    /** Virtualized-CQ mode (Section 7.2). */
+    bool virtualized = false;
+    /** Physical CQ size in virtualized mode. */
+    std::uint32_t physicalCqBytes = 128;
+    /** Number of physical CQs in virtualized mode. */
+    std::uint32_t numPhysicalCqs = 64;
+};
+
+/**
+ * One concatenation point (lives in an SNIC or a switch middle pipe).
+ */
+class Concatenator
+{
+  public:
+    using Emit = std::function<void(Packet &&)>;
+
+    /**
+     * @param eq the event queue driving expirations.
+     * @param cfg configuration.
+     * @param emit sink invoked with each finished packet.
+     */
+    Concatenator(EventQueue &eq, ConcatConfig cfg, Emit emit);
+
+    /** Accept one PR headed for node @p dest. */
+    void push(PropertyRequest &&pr, NodeId dest);
+
+    /** Flush every CQ (end-of-kernel drain or control-plane barrier). */
+    void flushAll();
+
+    /** Number of PRs currently waiting across all CQs. */
+    std::uint64_t pendingPrs() const { return pendingPrs_; }
+
+    /** Bytes of SRAM currently occupied by waiting PRs. */
+    std::uint64_t occupiedBytes() const { return occupiedBytes_; }
+
+    // Statistics.
+    std::uint64_t prsPushed() const { return prsPushed_; }
+    std::uint64_t packetsEmitted() const { return packetsEmitted_; }
+    std::uint64_t flushesByFill() const { return flushesByFill_; }
+    std::uint64_t flushesByExpiry() const { return flushesByExpiry_; }
+    std::uint64_t maxEqOccupancy() const { return maxEqOccupancy_; }
+    std::uint64_t maxOccupiedBytes() const { return maxOccupiedBytes_; }
+    const Average &prsPerPacket() const { return prsPerPacket_; }
+    const Average &prWaitTicks() const { return prWaitTicks_; }
+
+  private:
+    struct Cq
+    {
+        std::vector<PropertyRequest> prs;
+        std::vector<Tick> enterTimes;
+        std::uint32_t bytes = 0; // PR-layer bytes (headers + payloads)
+        std::uint64_t generation = 0;
+        bool armed = false; // an EQ entry (timer) is outstanding
+        NodeId dest = invalidNode;
+        PrType type = PrType::Read;
+    };
+
+    static std::uint64_t
+    key(PrType type, NodeId dest)
+    {
+        return (static_cast<std::uint64_t>(type) << 32) | dest;
+    }
+
+    void emitSolo(PropertyRequest &&pr, NodeId dest);
+    void flush(Cq &cq);
+    void arm(Cq &cq);
+    /** Bytes the pool must hold for @p cq's current content. */
+    std::uint32_t physicalBlocks(std::uint32_t bytes) const;
+    /** Free one block-equivalent by flushing the fullest virtual CQ. */
+    void evictForSpace();
+
+    EventQueue &eq_;
+    ConcatConfig cfg_;
+    Emit emit_;
+
+    std::unordered_map<std::uint64_t, Cq> queues_;
+    std::uint64_t pendingPrs_ = 0;
+    std::uint64_t occupiedBytes_ = 0;
+    std::uint32_t blocksInUse_ = 0;
+    std::uint64_t eqOccupancy_ = 0;
+
+    std::uint64_t prsPushed_ = 0;
+    std::uint64_t packetsEmitted_ = 0;
+    std::uint64_t flushesByFill_ = 0;
+    std::uint64_t flushesByExpiry_ = 0;
+    std::uint64_t maxEqOccupancy_ = 0;
+    std::uint64_t maxOccupiedBytes_ = 0;
+    Average prsPerPacket_;
+    Average prWaitTicks_;
+};
+
+/**
+ * Deconcatenation: split a packet back into its PRs. Free of delay
+ * cycles per Table 5.
+ */
+std::vector<PropertyRequest> deconcatenate(Packet &&pkt);
+
+} // namespace netsparse
+
+#endif // NETSPARSE_CONCAT_CONCATENATOR_HH

@@ -1,0 +1,112 @@
+#include "host/host_node.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace netsparse {
+
+HostNode::HostNode(EventQueue &eq, HostConfig cfg, Snic &snic,
+                   std::vector<std::uint32_t> idx_stream,
+                   std::uint32_t prop_bytes)
+    : eq_(eq), cfg_(cfg), snic_(snic), stream_(std::move(idx_stream)),
+      propBytes_(prop_bytes), qp_(eq, snic)
+{
+    qp_.setCompletionHandler([this] { drainCq(); });
+    if (cfg_.batchSize == 0) {
+        std::uint64_t per_unit =
+            stream_.size() / (2ull * std::max(1u, snic_.numClientUnits()));
+        cfg_.batchSize = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
+            per_unit, cfg_.autoBatchMin, cfg_.autoBatchMax));
+    }
+}
+
+void
+HostNode::start(std::function<void()> on_done)
+{
+    onDone_ = std::move(on_done);
+    if (stream_.empty()) {
+        done_ = true;
+        finishTick_ = eq_.now();
+        if (onDone_)
+            onDone_();
+        return;
+    }
+    pump();
+}
+
+void
+HostNode::pump()
+{
+    // The single control core issues at most one command per overhead
+    // window; model it as a self-rescheduling issue loop.
+    if (issueScheduled_ || done_)
+        return;
+    if (nextOffset_ >= stream_.size())
+        return;
+
+    issueScheduled_ = true;
+    Tick start = std::max(eq_.now(), coreFreeAt_);
+    coreFreeAt_ = start + cfg_.commandIssueOverhead;
+    eq_.schedule(coreFreeAt_, [this] {
+        issueScheduled_ = false;
+        if (nextOffset_ >= stream_.size())
+            return;
+
+        std::size_t count = std::min<std::size_t>(
+            cfg_.batchSize, stream_.size() - nextOffset_);
+        IbvSendWr wr;
+        wr.wrId = nextWrId_++;
+        wr.opcode = IbvWrOpcode::Rig;
+        wr.rig.idxList = stream_.data() + nextOffset_;
+        wr.rig.numIdxs = count;
+        wr.rig.propBytes = propBytes_;
+
+        if (qp_.postSend(wr)) {
+            ++commandsIssued_;
+            nextOffset_ += count;
+            pump(); // keep additional free units fed
+        }
+        // When no unit was free, a completion will re-invoke pump().
+        drainCq();
+    });
+}
+
+void
+HostNode::drainCq()
+{
+    IbvWc wc;
+    bool completed = false;
+    while (qp_.pollCq(wc)) {
+        completed = true;
+        if (wc.status != IbvWc::Status::Success)
+            ++failures_;
+    }
+    if (completed && cfg_.policy == BatchPolicy::Adaptive &&
+        nextOffset_ < stream_.size()) {
+        // AIMD (see HostConfig::policy): idle units mean the split is
+        // too coarse; a saturated SNIC can afford coarser commands.
+        std::size_t units = snic_.numClientUnits();
+        std::size_t idle = units - qp_.outstanding();
+        if (idle > units / 2) {
+            cfg_.batchSize =
+                std::max(cfg_.autoBatchMin, cfg_.batchSize / 2);
+        } else {
+            cfg_.batchSize = std::min(cfg_.autoBatchMax,
+                                      cfg_.batchSize +
+                                          cfg_.batchSize / 4);
+        }
+    }
+    if (nextOffset_ >= stream_.size() && qp_.outstanding() == 0) {
+        if (!done_) {
+            done_ = true;
+            finishTick_ = eq_.now();
+            if (onDone_)
+                onDone_();
+        }
+        return;
+    }
+    pump();
+}
+
+} // namespace netsparse

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The host-side driver of one node's communication phase.
+ *
+ * A single CPU core (Section 8.1: NetSparse dedicates one core per node
+ * to control the SNIC) walks the node's nonzero idx stream, slices it
+ * into RIG batches, and keeps every free client RIG unit fed. Command
+ * issue costs the core a fixed overhead, serializing issues, which is
+ * what makes very small batch sizes expensive (Figure 15).
+ */
+
+#ifndef NETSPARSE_HOST_HOST_NODE_HH
+#define NETSPARSE_HOST_HOST_NODE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "host/verbs.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+#include "snic/snic.hh"
+
+namespace netsparse {
+
+/** How the host chooses RIG batch sizes. */
+enum class BatchPolicy : std::uint8_t
+{
+    /** Fixed batchSize (0 = one-shot automatic sizing). */
+    Static,
+    /**
+     * The Section 9.4 future-work extension: adapt the batch size at
+     * runtime with an AIMD rule - when completions find many client
+     * units idle the batches are too coarse (intra-node imbalance), so
+     * halve them; when all units stay busy, grow batches additively to
+     * amortize the per-command issue overhead.
+     */
+    Adaptive,
+};
+
+/** Host driver parameters. */
+struct HostConfig
+{
+    /**
+     * Nonzeros per RIG command (paper default 32k / 8k per matrix).
+     * 0 selects automatic sizing: the stream is split so every client
+     * RIG unit gets work (about two batches each), clamped to
+     * [autoBatchMin, autoBatchMax]. This keeps scaled-down matrices
+     * from collapsing onto a single unit.
+     */
+    std::uint32_t batchSize = 0;
+    std::uint32_t autoBatchMin = 512;
+    std::uint32_t autoBatchMax = 32768;
+    /** Batch-size selection policy. */
+    BatchPolicy policy = BatchPolicy::Static;
+    /** Core time to assemble and post one work request. */
+    Tick commandIssueOverhead = 250 * ticks::ns;
+};
+
+/** Drives one node's gather through the verbs layer. */
+class HostNode
+{
+  public:
+    /**
+     * @param idx_stream the cids of the node's nonzeros in row-scan
+     *        order. The vector must outlive the run.
+     */
+    HostNode(EventQueue &eq, HostConfig cfg, Snic &snic,
+             std::vector<std::uint32_t> idx_stream,
+             std::uint32_t prop_bytes);
+
+    /** Kick off the gather; @p on_done fires when all batches finish. */
+    void start(std::function<void()> on_done);
+
+    /** Simulated time when the last batch completed. */
+    Tick finishTick() const { return finishTick_; }
+
+    /** True once every batch completed (successfully or not). */
+    bool done() const { return done_; }
+
+    /** Commands that failed on the watchdog. */
+    std::uint64_t failures() const { return failures_; }
+
+    std::uint64_t commandsIssued() const { return commandsIssued_; }
+    const std::vector<std::uint32_t> &idxStream() const { return stream_; }
+
+    /** The batch size currently in use (changes under Adaptive). */
+    std::uint32_t currentBatchSize() const { return cfg_.batchSize; }
+
+  private:
+    void pump();
+    void drainCq();
+
+    EventQueue &eq_;
+    HostConfig cfg_;
+    Snic &snic_;
+    std::vector<std::uint32_t> stream_;
+    std::uint32_t propBytes_;
+    RigQueuePair qp_;
+
+    std::function<void()> onDone_;
+    std::size_t nextOffset_ = 0;
+    Tick coreFreeAt_ = 0;
+    bool issueScheduled_ = false;
+    bool done_ = false;
+    Tick finishTick_ = 0;
+    std::uint64_t failures_ = 0;
+    std::uint64_t commandsIssued_ = 0;
+    std::uint64_t nextWrId_ = 1;
+};
+
+} // namespace netsparse
+
+#endif // NETSPARSE_HOST_HOST_NODE_HH

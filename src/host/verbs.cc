@@ -1,0 +1,64 @@
+#include "host/verbs.hh"
+
+#include "sim/logging.hh"
+
+namespace netsparse {
+
+RigQueuePair::RigQueuePair(EventQueue &eq, Snic &snic)
+    : eq_(eq), snic_(snic), unitReserved_(snic.numClientUnits(), false)
+{}
+
+bool
+RigQueuePair::postSend(const IbvSendWr &wr)
+{
+    // Find a client RIG unit that is neither running nor reserved by a
+    // doorbell still in flight.
+    std::uint32_t unit = snic_.numClientUnits();
+    for (std::uint32_t c = 0; c < snic_.numClientUnits(); ++c) {
+        if (!unitReserved_[c] && !snic_.clientBusy(c)) {
+            unit = c;
+            break;
+        }
+    }
+    if (unit == snic_.numClientUnits())
+        return false;
+
+    RigCommand cmd;
+    if (wr.opcode == IbvWrOpcode::Rig) {
+        cmd.idxs = wr.rig.idxList;
+        cmd.count = wr.rig.numIdxs;
+    } else {
+        ns_assert(wr.rig.numIdxs == 1,
+                  "RdmaRead carries exactly one idx");
+        cmd.idxs = wr.rig.idxList;
+        cmd.count = 1;
+    }
+    cmd.propBytes = wr.rig.propBytes;
+    cmd.commandId = wr.wrId;
+    std::uint64_t wr_id = wr.wrId;
+    cmd.onComplete = [this, wr_id, unit](bool success) {
+        unitReserved_[unit] = false;
+        --outstanding_;
+        cq_.push_back({wr_id, success ? IbvWc::Status::Success
+                                      : IbvWc::Status::WatchdogTimeout});
+        if (onCompletion_)
+            onCompletion_();
+    };
+
+    unitReserved_[unit] = true;
+    ++outstanding_;
+    snic_.postRig(unit, std::move(cmd));
+    return true;
+}
+
+bool
+RigQueuePair::pollCq(IbvWc &wc)
+{
+    if (cq_.empty())
+        return false;
+    wc = cq_.front();
+    cq_.pop_front();
+    return true;
+}
+
+} // namespace netsparse

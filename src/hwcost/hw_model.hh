@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Analytic area/power model of the NetSparse hardware extensions
+ * (Section 9.5, Figure 20, Table 9).
+ *
+ * The paper synthesizes RTL at 45 nm (Design Compiler + FreePDK45),
+ * models SRAM/CAM with CACTI, and scales to 10 nm with the
+ * Stillmaker-Baas equations. Those tools are unavailable offline, so
+ * this module reproduces the *methodology shape*: per-structure SRAM/CAM
+ * capacity accounting, technology scaling factors, and density/energy
+ * coefficients anchored to the component values the paper reports. The
+ * relative breakdowns (which structure dominates what) follow from the
+ * capacities, not from hard-coded percentages.
+ */
+
+#ifndef NETSPARSE_HWCOST_HW_MODEL_HH
+#define NETSPARSE_HWCOST_HW_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netsparse {
+
+/** Cost of one hardware structure. */
+struct HwComponentCost
+{
+    std::string name;
+    double areaMm2 = 0.0;
+    double staticPowerW = 0.0;
+    double dynamicPowerW = 0.0;
+    std::uint64_t sramBytes = 0;
+};
+
+/** A cost report with per-component rows and totals. */
+struct HwReport
+{
+    std::vector<HwComponentCost> components;
+
+    double totalAreaMm2() const;
+    double totalStaticW() const;
+    double totalDynamicW() const;
+    std::uint64_t totalSramBytes() const;
+};
+
+/** Technology scaling (Stillmaker-Baas style factors). */
+struct TechScaling
+{
+    /** Area ratio when moving a design from @p from_nm to @p to_nm. */
+    static double areaFactor(double from_nm, double to_nm);
+    /** Dynamic power ratio for the same move at iso-frequency. */
+    static double powerFactor(double from_nm, double to_nm);
+};
+
+/** Memory-technology coefficients at the target node (10 nm). */
+struct HwCoefficients
+{
+    /** Plain SRAM density. */
+    double sramMm2PerMb = 0.45;
+    /** CAM cells cost extra comparators per bit. */
+    double camAreaMultiplier = 4.0;
+    /** Large switch-grade SRAM arrays (with tags and muxing). */
+    double cacheMm2PerMb = 0.666;
+    /** Static power per mm^2 of SRAM-dominated logic. */
+    double staticWPerMm2 = 0.35;
+    /** Dynamic energy per byte accessed, joules (SRAM read+write). */
+    double dynamicJPerByte = 0.6e-12;
+    /** Logic area per RIG unit (destination solver, PR generator...). */
+    double rigLogicMm2 = 0.0011;
+    /**
+     * Peak bytes/s a RIG unit touches at maximum activity: per cycle it
+     * reads an idx, searches the CAM, probes the filter hierarchy and
+     * moves buffer entries (~24 B of SRAM activity per cycle).
+     */
+    double rigPeakBytesPerSec = 2.2e9 * 24;
+    /** L1 bytes touched per cycle (filter probes dominate). */
+    double l1BytesPerCycle = 16.0;
+};
+
+/** SNIC extension inventory (Table 5 defaults). */
+struct SnicHwParams
+{
+    std::uint32_t numRigUnits = 32;
+    std::uint32_t idxBufferBytes = 4096;
+    std::uint32_t propBufferBytes = 4096;
+    std::uint32_t pendingEntries = 256;
+    std::uint32_t pendingEntryBytes = 14; // idx CAM key + state
+    std::uint32_t lsqEntries = 64;
+    std::uint32_t lsqEntryBytes = 16;
+    std::uint32_t numL1 = 16;
+    std::uint32_t l1Bytes = 32 << 10;
+    std::uint32_t numL2 = 16;
+    std::uint32_t l2Bytes = 128 << 10;
+    std::uint32_t concatSramBytes = 512 << 10;
+};
+
+/** Switch extension inventory. */
+struct SwitchHwParams
+{
+    std::uint64_t cacheBytes = 32ull << 20;
+    std::uint32_t numPipes = 8;
+    std::uint32_t concatSramBytesPerPipe = 512 << 10;
+    std::uint32_t crossbarRadix = 32;
+};
+
+/** Figure 20: SNIC extension breakdown. */
+HwReport snicOverheads(const SnicHwParams &p = {},
+                       const HwCoefficients &c = {});
+
+/** Table 9: fraction of one RIG unit's area per structure. */
+std::vector<std::pair<std::string, double>>
+rigUnitAreaBreakdown(const SnicHwParams &p = {},
+                     const HwCoefficients &c = {});
+
+/** Section 9.5 (2): switch extension breakdown (incl. 2nd crossbar). */
+HwReport switchOverheads(const SwitchHwParams &p = {},
+                         const HwCoefficients &c = {});
+
+} // namespace netsparse
+
+#endif // NETSPARSE_HWCOST_HW_MODEL_HH

@@ -1,0 +1,46 @@
+#include "net/link.hh"
+
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace netsparse {
+
+Link::Link(EventQueue &eq, LinkConfig cfg, ProtocolParams proto,
+           PacketSink *sink, std::uint32_t sinkPort, std::string name)
+    : eq_(eq), cfg_(cfg), proto_(proto), sink_(sink), sinkPort_(sinkPort),
+      name_(std::move(name))
+{
+    ns_assert(sink_, "link ", name_, " has no sink");
+}
+
+void
+Link::send(Packet &&pkt)
+{
+    std::uint64_t wire = pkt.wireBytes(proto_);
+    ns_assert(wire <= proto_.mtuBytes, "packet exceeds MTU on ", name_,
+              ": ", wire, " > ", proto_.mtuBytes);
+
+    Tick start = std::max(eq_.now(), busyUntil_);
+    Tick ser = cfg_.bandwidth.serialize(wire);
+    busyUntil_ = start + ser;
+    busyTicks_ += ser;
+
+    ++packets_;
+    bytes_ += wire;
+    payloadBytes_ += pkt.payloadBytes();
+
+    if (dropFilter_ && dropFilter_(pkt)) {
+        ++dropped_;
+        return;
+    }
+
+    Tick arrival = busyUntil_ + cfg_.latency;
+    // The callback owns the packet until delivery.
+    auto holder = std::make_shared<Packet>(std::move(pkt));
+    eq_.schedule(arrival, [this, holder]() mutable {
+        sink_->receivePacket(std::move(*holder), sinkPort_);
+    });
+}
+
+} // namespace netsparse

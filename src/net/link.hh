@@ -1,0 +1,115 @@
+/**
+ * @file
+ * A unidirectional network link with serialization, queueing and
+ * propagation delay.
+ *
+ * The link is modeled as a single server: a packet occupies the wire for
+ * wireBytes/bandwidth, waits behind earlier packets (busy-until chain),
+ * then propagates for the configured latency. This captures the
+ * first-order queueing contention that shapes the paper's results; the
+ * network is lossless (Section 7.1), so there is no drop path except an
+ * explicit fault-injection filter used by the watchdog tests.
+ */
+
+#ifndef NETSPARSE_NET_LINK_HH
+#define NETSPARSE_NET_LINK_HH
+
+#include <functional>
+#include <string>
+
+#include "net/protocol.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace netsparse {
+
+/** Anything that can accept packets from a link. */
+class PacketSink
+{
+  public:
+    virtual ~PacketSink() = default;
+
+    /** Deliver @p pkt, which arrived on the receiver's port @p inPort. */
+    virtual void receivePacket(Packet &&pkt, std::uint32_t inPort) = 0;
+};
+
+/** Static link parameters. */
+struct LinkConfig
+{
+    Bandwidth bandwidth = Bandwidth::fromGbps(400.0);
+    Tick latency = 450 * ticks::ns;
+};
+
+/** One directed link. */
+class Link
+{
+  public:
+    Link(EventQueue &eq, LinkConfig cfg, ProtocolParams proto,
+         PacketSink *sink, std::uint32_t sinkPort, std::string name);
+
+    /** Enqueue @p pkt for transmission. */
+    void send(Packet &&pkt);
+
+    /** Time the wire is already committed beyond now. */
+    Tick
+    queueDelay() const
+    {
+        return busyUntil_ > eq_.now() ? busyUntil_ - eq_.now() : 0;
+    }
+
+    /** Bytes of transmit buffering currently committed. */
+    std::uint64_t
+    queuedBytes() const
+    {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(queueDelay()) *
+            cfg_.bandwidth.bytesPerPs());
+    }
+
+    /**
+     * Install a fault-injection filter: packets for which it returns
+     * true consume wire time but are never delivered (lost).
+     */
+    void
+    setDropFilter(std::function<bool(const Packet &)> filter)
+    {
+        dropFilter_ = std::move(filter);
+    }
+
+    // Statistics.
+    std::uint64_t packetsSent() const { return packets_; }
+    std::uint64_t bytesSent() const { return bytes_; }
+    std::uint64_t payloadBytesSent() const { return payloadBytes_; }
+    std::uint64_t packetsDropped() const { return dropped_; }
+    Tick busyTicks() const { return busyTicks_; }
+    const std::string &name() const { return name_; }
+
+    /** Utilization of the wire over [0, now]. */
+    double
+    utilization() const
+    {
+        return eq_.now() ? static_cast<double>(busyTicks_) / eq_.now()
+                         : 0.0;
+    }
+
+  private:
+    EventQueue &eq_;
+    LinkConfig cfg_;
+    ProtocolParams proto_;
+    PacketSink *sink_;
+    std::uint32_t sinkPort_;
+    std::string name_;
+
+    Tick busyUntil_ = 0;
+    std::function<bool(const Packet &)> dropFilter_;
+
+    std::uint64_t packets_ = 0;
+    std::uint64_t bytes_ = 0;
+    std::uint64_t payloadBytes_ = 0;
+    std::uint64_t dropped_ = 0;
+    Tick busyTicks_ = 0;
+};
+
+} // namespace netsparse
+
+#endif // NETSPARSE_NET_LINK_HH

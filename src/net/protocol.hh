@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The NetSparse two-layer network protocol (Section 6.1.1, Figure 6).
+ *
+ * NetSparse packets ride on top of RDMA ("upper layers", 50 B of header).
+ * The concatenation layer (12 B) carries the PR type, destination,
+ * property length and PR count; the PR layer (18 B per PR) carries each
+ * PR's source node, source RIG-unit id, property idx and request id.
+ * Read PRs have no payload; response PRs carry the property value.
+ *
+ * Without concatenation, a lone PR instead uses a 10 B single-PR layer
+ * under the upper layers, giving the paper's 50+10+18 = 78 B header.
+ */
+
+#ifndef NETSPARSE_NET_PROTOCOL_HH
+#define NETSPARSE_NET_PROTOCOL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace netsparse {
+
+/** The two PR types of the protocol. */
+enum class PrType : std::uint8_t
+{
+    Read,
+    Response,
+};
+
+/** One Property Request: a fine-grained remote read or its response. */
+struct PropertyRequest
+{
+    PrType type = PrType::Read;
+    /** Node that issued the original read. */
+    NodeId src = invalidNode;
+    /** RIG unit (thread) id within the source SNIC. */
+    std::uint16_t srcTid = 0;
+    /** Property index (the nonzero's cid). */
+    PropIdx idx = 0;
+    /** Per-unit request identifier. */
+    std::uint32_t reqId = 0;
+    /**
+     * The kernel's property size in bytes (the concatenation-layer "Len"
+     * field). Lets an in-switch cache hit turn a read into a response.
+     */
+    std::uint32_t propBytes = 0;
+    /** Payload bytes: 0 for reads, K*4 for responses. */
+    std::uint32_t payloadBytes = 0;
+    /** Deterministic checksum of the property data (responses). */
+    std::uint64_t checksum = 0;
+};
+
+/** Header-size and MTU parameters (paper Table 5 defaults). */
+struct ProtocolParams
+{
+    /** RDMA and below ("upper layers"). */
+    std::uint32_t upperHeaderBytes = 50;
+    /** Concatenation-layer header. */
+    std::uint32_t concatHeaderBytes = 12;
+    /** Per-PR header. */
+    std::uint32_t prHeaderBytes = 18;
+    /** Single-PR layer used when concatenation is disabled. */
+    std::uint32_t soloHeaderBytes = 10;
+    /** Maximum transmission unit. */
+    std::uint32_t mtuBytes = 1500;
+
+    /** Fixed per-packet overhead of a concatenated packet. */
+    std::uint32_t
+    concatBaseBytes() const
+    {
+        return upperHeaderBytes + concatHeaderBytes;
+    }
+
+    /** Wire size of one PR inside a concatenated packet. */
+    std::uint32_t
+    prWireBytes(const PropertyRequest &pr) const
+    {
+        return prHeaderBytes + pr.payloadBytes;
+    }
+
+    /** Wire size of a lone, unconcatenated PR packet. */
+    std::uint32_t
+    soloWireBytes(const PropertyRequest &pr) const
+    {
+        return upperHeaderBytes + soloHeaderBytes + prHeaderBytes +
+               pr.payloadBytes;
+    }
+};
+
+/**
+ * A network packet: one or more PRs of the same type headed to the same
+ * destination node (concatenated), or a single PR (vanilla).
+ */
+struct Packet
+{
+    NodeId src = invalidNode;
+    NodeId dest = invalidNode;
+    PrType type = PrType::Read;
+    /** True when the packet uses the concatenation layer. */
+    bool concatenated = false;
+    std::vector<PropertyRequest> prs;
+
+    /** Total bytes on the wire, headers included. */
+    std::uint64_t
+    wireBytes(const ProtocolParams &proto) const
+    {
+        if (!concatenated) {
+            std::uint64_t b = 0;
+            for (const auto &pr : prs)
+                b += proto.soloWireBytes(pr);
+            return b;
+        }
+        std::uint64_t b = proto.concatBaseBytes();
+        for (const auto &pr : prs)
+            b += proto.prWireBytes(pr);
+        return b;
+    }
+
+    /** Payload (useful property data) bytes carried. */
+    std::uint64_t
+    payloadBytes() const
+    {
+        std::uint64_t b = 0;
+        for (const auto &pr : prs)
+            b += pr.payloadBytes;
+        return b;
+    }
+};
+
+/** The deterministic "property value" checksum for end-to-end checking. */
+constexpr std::uint64_t
+propertyChecksum(PropIdx idx)
+{
+    return splitmix64(idx ^ 0x0e75ea5eULL);
+}
+
+} // namespace netsparse
+
+#endif // NETSPARSE_NET_PROTOCOL_HH

@@ -1,0 +1,154 @@
+#include "net/switch.hh"
+
+#include "sim/logging.hh"
+
+namespace netsparse {
+
+Switch::Switch(EventQueue &eq, SwitchConfig cfg, SwitchId id,
+               std::string name)
+    : eq_(eq), cfg_(cfg), id_(id), name_(std::move(name))
+{
+    Clock pipe_clock(cfg_.pipeClockHz);
+    cacheLatency_ = pipe_clock.cycles(cfg_.cache.latencyCycles);
+}
+
+void
+Switch::attachPort(std::uint32_t port, Link *out, bool to_host)
+{
+    ns_assert(port == out_.size(), "ports must be attached in order");
+    out_.push_back(out);
+    hostPort_.push_back(to_host);
+}
+
+void
+Switch::configureForKernel(std::uint32_t prop_bytes)
+{
+    if (!cfg_.netsparseEnabled)
+        return;
+    ns_assert(!out_.empty(), "configure called before ports attached");
+
+    std::uint32_t pipes =
+        (static_cast<std::uint32_t>(out_.size()) + cfg_.portsPerPipe - 1) /
+        cfg_.portsPerPipe;
+
+    if (caches_.empty()) {
+        if (cfg_.cachePerPipe) {
+            PropertyCacheConfig per_pipe = cfg_.cache;
+            per_pipe.totalBytes = cfg_.cache.totalBytes / pipes;
+            for (std::uint32_t p = 0; p < pipes; ++p)
+                caches_.push_back(
+                    std::make_unique<PropertyCache>(per_pipe));
+        } else {
+            caches_.push_back(
+                std::make_unique<PropertyCache>(cfg_.cache));
+        }
+    }
+    for (auto &c : caches_)
+        c->configureForKernel(prop_bytes);
+
+    concats_.clear();
+    for (std::uint32_t p = 0; p < pipes; ++p) {
+        concats_.push_back(std::make_unique<Concatenator>(
+            eq_, cfg_.concat,
+            [this](Packet &&pkt) { forward(std::move(pkt)); }));
+    }
+}
+
+void
+Switch::receivePacket(Packet &&pkt, std::uint32_t in_port)
+{
+    Tick delay = cfg_.pipelineLatency;
+    if (cfg_.netsparseEnabled)
+        delay += cacheLatency_;
+    auto holder = std::make_shared<Packet>(std::move(pkt));
+    eq_.scheduleIn(delay, [this, holder, in_port]() mutable {
+        if (cfg_.netsparseEnabled)
+            processMiddlePipe(std::move(*holder), in_port);
+        else
+            forward(std::move(*holder));
+    });
+}
+
+void
+Switch::processMiddlePipe(Packet &&pkt, std::uint32_t in_port)
+{
+    ns_assert(!concats_.empty(),
+              "NetSparse switch ", name_, " was not configured");
+
+    bool from_host = hostPort_[in_port];
+    std::uint32_t egress = route_(pkt.dest);
+    bool egress_host = hostPort_[egress];
+
+    // Reads use the pipe of their egress port; responses the pipe of
+    // their ingress port (Figure 8).
+    std::uint32_t pipe = pkt.type == PrType::Read ? pipeOf(egress)
+                                                  : pipeOf(in_port);
+    pipe %= static_cast<std::uint32_t>(concats_.size());
+    // With the shared organization there is a single cache array; in
+    // per-pipe mode each middle pipe owns a slice (see header comment).
+    PropertyCache &cache =
+        *caches_[cfg_.cachePerPipe ? pipe % caches_.size() : 0];
+    Concatenator &concat = *concats_[pipe];
+
+    NodeId pkt_dest = pkt.dest;
+    std::vector<PropertyRequest> prs = deconcatenate(std::move(pkt));
+    for (auto &pr : prs) {
+        if (pr.type == PrType::Read && from_host && !egress_host) {
+            // A read leaving the rack: try to serve it locally.
+            std::uint64_t csum = 0;
+            if (cache.lookup(pr.idx, csum)) {
+                pr.type = PrType::Response;
+                pr.payloadBytes = pr.propBytes;
+                pr.checksum = csum;
+                ++servedByCache_;
+                NodeId back = pr.src;
+                concat.push(std::move(pr), back);
+                continue;
+            }
+        } else if (pr.type == PrType::Response && !from_host &&
+                   egress_host) {
+            // A response entering the rack: remember it for neighbors.
+            cache.insert(pr.idx, pr.checksum);
+        }
+        concat.push(std::move(pr), pkt_dest);
+    }
+}
+
+void
+Switch::forward(Packet &&pkt)
+{
+    std::uint32_t p = route_(pkt.dest);
+    ns_assert(p < out_.size() && out_[p], "bad egress port ", p, " on ",
+              name_);
+    ++forwarded_;
+    out_[p]->send(std::move(pkt));
+}
+
+std::uint64_t
+Switch::cacheLookups() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : caches_)
+        n += c->lookups();
+    return n;
+}
+
+std::uint64_t
+Switch::cacheHits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : caches_)
+        n += c->hits();
+    return n;
+}
+
+std::uint64_t
+Switch::cacheInserts() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : caches_)
+        n += c->inserts();
+    return n;
+}
+
+} // namespace netsparse

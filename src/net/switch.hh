@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Network switch model, with optional NetSparse ToR extensions
+ * (Section 6.2.1, Figure 8).
+ *
+ * A plain switch forwards packets: arrival -> pipeline latency ->
+ * deterministic route -> output link (which models serialization and
+ * queueing).
+ *
+ * A NetSparse ToR switch adds the "middle pipes": each arriving packet
+ * is deconcatenated, every PR optionally interacts with the Property
+ * Cache, and the PRs re-concatenate (sharing headers across PRs from
+ * different sources) before heading to their output ports through the
+ * second crossbar.
+ *
+ * Cache organization: by default the switch's cache budget behaves as
+ * one shared cache (the middle-pipe layer plus the second crossbar make
+ * every pipe's SRAM reachable; with our per-destination deterministic
+ * routing this is the organization that keeps a read's lookup and the
+ * matching response's insert in the same array for every source/home
+ * pair). Set cachePerPipe to model strictly per-pipe caches as in
+ * Figure 8 - reads then use the pipe of their egress port and responses
+ * the pipe of their ingress port, which requires rack-pair-symmetric
+ * routing to be effective.
+ *
+ * Cache gating (the cache stores only properties fetched from remote
+ * racks, for sharing within the local rack):
+ *  - read PR:     looked up only when it arrives from a local host and
+ *                 leaves toward the spine (home outside this rack);
+ *  - response PR: inserted only when it arrives from the spine and is
+ *                 destined to a local host.
+ */
+
+#ifndef NETSPARSE_NET_SWITCH_HH
+#define NETSPARSE_NET_SWITCH_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/property_cache.hh"
+#include "concat/concatenator.hh"
+#include "net/link.hh"
+#include "net/protocol.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace netsparse {
+
+/** Static switch parameters. */
+struct SwitchConfig
+{
+    ProtocolParams proto;
+    /** Ingress-to-egress pipeline latency (Table 5: 300 ns). */
+    Tick pipelineLatency = 300 * ticks::ns;
+    /** Ports grouped per pipe (32 ports / 8 pipes = 4). */
+    std::uint32_t portsPerPipe = 4;
+    /** Switch pipe clock (2 GHz). */
+    double pipeClockHz = 2e9;
+    /** True for ToR switches carrying the NetSparse extensions. */
+    bool netsparseEnabled = false;
+    /** Per-middle-pipe concatenator settings (delay in ticks). */
+    ConcatConfig concat;
+    /** Whole-switch Property Cache budget. */
+    PropertyCacheConfig cache;
+    /** Split the cache per middle pipe (Figure 8) vs one shared array. */
+    bool cachePerPipe = false;
+};
+
+/** One switch. */
+class Switch : public PacketSink
+{
+  public:
+    Switch(EventQueue &eq, SwitchConfig cfg, SwitchId id,
+           std::string name);
+
+    /**
+     * Attach the outgoing link of @p port. @p toHost marks "down" ports.
+     * Ports must be attached contiguously from 0.
+     */
+    void attachPort(std::uint32_t port, Link *out, bool toHost);
+
+    /** Install the routing function: destination node -> output port. */
+    void
+    setRouteFn(std::function<std::uint32_t(NodeId)> fn)
+    {
+        route_ = std::move(fn);
+    }
+
+    /** Control plane: configure caches for a kernel and invalidate. */
+    void configureForKernel(std::uint32_t propBytes);
+
+    void receivePacket(Packet &&pkt, std::uint32_t inPort) override;
+
+    SwitchId id() const { return id_; }
+    const std::string &name() const { return name_; }
+
+    // Aggregated statistics over all middle pipes.
+    std::uint64_t cacheLookups() const;
+    std::uint64_t cacheHits() const;
+    std::uint64_t cacheInserts() const;
+    std::uint64_t prsServedByCache() const { return servedByCache_; }
+    std::uint64_t packetsForwarded() const { return forwarded_; }
+
+    /** The middle-pipe Property Cache of pipe @p i (for tests). */
+    PropertyCache &pipeCache(std::uint32_t i) { return *caches_[i]; }
+    std::uint32_t numPipes() const
+    {
+        return static_cast<std::uint32_t>(caches_.size());
+    }
+
+  private:
+    void forward(Packet &&pkt);
+    void processMiddlePipe(Packet &&pkt, std::uint32_t inPort);
+    std::uint32_t pipeOf(std::uint32_t port) const
+    {
+        return port / cfg_.portsPerPipe;
+    }
+
+    EventQueue &eq_;
+    SwitchConfig cfg_;
+    SwitchId id_;
+    std::string name_;
+
+    std::vector<Link *> out_;
+    std::vector<bool> hostPort_;
+    std::function<std::uint32_t(NodeId)> route_;
+
+    // Middle-pipe hardware (only populated when netsparseEnabled).
+    std::vector<std::unique_ptr<PropertyCache>> caches_;
+    std::vector<std::unique_ptr<Concatenator>> concats_;
+    Tick cacheLatency_ = 0;
+
+    std::uint64_t servedByCache_ = 0;
+    std::uint64_t forwarded_ = 0;
+};
+
+} // namespace netsparse
+
+#endif // NETSPARSE_NET_SWITCH_HH

@@ -1,0 +1,275 @@
+#include "runtime/cluster.hh"
+
+#include <algorithm>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace netsparse {
+
+ClusterConfig
+defaultClusterConfig(std::uint32_t nodes)
+{
+    ClusterConfig cfg;
+    cfg.numNodes = nodes;
+    cfg.nodesPerRack = std::min<std::uint32_t>(16, nodes);
+    cfg.numSpines = 16;
+    return cfg;
+}
+
+ClusterSim::ClusterSim(ClusterConfig cfg) : cfg_(std::move(cfg))
+{
+    ns_assert(cfg_.numNodes >= 1, "cluster needs nodes");
+    ns_assert(!cfg_.features.switchCache || cfg_.features.concatSwitch,
+              "the Property Cache lives in the middle pipes; enable "
+              "switch concatenation with it");
+}
+
+GatherRunResult
+ClusterSim::runGather(const Csr &m, const Partition1D &part,
+                      std::uint32_t k)
+{
+    ns_assert(part.numParts() == cfg_.numNodes,
+              "partition has ", part.numParts(), " parts for ",
+              cfg_.numNodes, " nodes");
+    ns_assert(m.rows == m.cols, "distributed kernels use square matrices");
+    const std::uint32_t prop_bytes = 4 * k;
+
+    // --- Topology ---
+    Topology topo = [&] {
+        switch (cfg_.topology) {
+          case TopologyKind::LeafSpine: {
+            std::uint32_t racks =
+                (cfg_.numNodes + cfg_.nodesPerRack - 1) /
+                cfg_.nodesPerRack;
+            return Topology::leafSpine(racks, cfg_.nodesPerRack,
+                                       cfg_.numSpines);
+          }
+          case TopologyKind::HyperX:
+            // 4x4x2 switches, 4 hosts each, width-4 trunks (Section 9.6)
+            ns_assert(cfg_.numNodes == 128,
+                      "the HyperX configuration is 128 nodes");
+            return Topology::hyperX(4, 4, 2, 4, 4);
+          case TopologyKind::Dragonfly:
+            ns_assert(cfg_.numNodes == 128,
+                      "the Dragonfly configuration is 128 nodes");
+            return Topology::dragonfly(4, 8, 4, 4);
+        }
+        ns_panic("unknown topology kind");
+    }();
+    ns_assert(topo.numNodes() == cfg_.numNodes, "topology node mismatch");
+
+    EventQueue eq;
+
+    // --- SNICs ---
+    SnicConfig snic_cfg = cfg_.snic;
+    snic_cfg.proto = cfg_.proto;
+    snic_cfg.rigUnit.filterEnabled = cfg_.features.filter;
+    snic_cfg.rigUnit.coalesceEnabled = cfg_.features.coalesce;
+    Clock snic_clock(snic_cfg.rigUnit.clockHz);
+    snic_cfg.concat.proto = cfg_.proto;
+    snic_cfg.concat.enabled = cfg_.features.concatNic;
+    snic_cfg.concat.delay = snic_clock.cycles(cfg_.nicConcatDelayCycles);
+    snic_cfg.concat.virtualized = cfg_.virtualizedCqs;
+
+    auto owner_of = [&part](PropIdx idx) {
+        return part.ownerOf(static_cast<std::uint32_t>(idx));
+    };
+
+    std::vector<std::unique_ptr<Snic>> snics;
+    snics.reserve(cfg_.numNodes);
+    for (NodeId nid = 0; nid < cfg_.numNodes; ++nid) {
+        snics.push_back(std::make_unique<Snic>(
+            eq, snic_cfg, nid, owner_of, m.cols,
+            "node" + std::to_string(nid) + ".snic"));
+    }
+
+    // --- Switches ---
+    Clock switch_clock(cfg_.switchClockHz);
+    std::vector<std::unique_ptr<Switch>> switches;
+    switches.reserve(topo.numSwitches());
+    for (SwitchId sid = 0; sid < topo.numSwitches(); ++sid) {
+        SwitchConfig sw_cfg;
+        sw_cfg.proto = cfg_.proto;
+        sw_cfg.pipelineLatency = cfg_.switchPipelineLatency;
+        sw_cfg.pipeClockHz = cfg_.switchClockHz;
+        bool tor_extensions =
+            topo.isTor(sid) &&
+            (cfg_.features.concatSwitch || cfg_.features.switchCache);
+        sw_cfg.netsparseEnabled = tor_extensions;
+        sw_cfg.concat.proto = cfg_.proto;
+        sw_cfg.concat.enabled = cfg_.features.concatSwitch;
+        sw_cfg.concat.delay =
+            switch_clock.cycles(cfg_.switchConcatDelayCycles);
+        sw_cfg.concat.virtualized = cfg_.virtualizedCqs;
+        sw_cfg.cache = cfg_.cacheGeometry;
+        sw_cfg.cache.totalBytes =
+            cfg_.features.switchCache ? cfg_.propertyCacheBytes : 0;
+        sw_cfg.cachePerPipe = cfg_.cachePerPipe;
+        switches.push_back(std::make_unique<Switch>(
+            eq, sw_cfg, sid, "switch" + std::to_string(sid)));
+    }
+
+    // --- Links ---
+    // One directed link per (switch port, direction) plus one egress
+    // link per host NIC.
+    std::vector<std::unique_ptr<Link>> links;
+    for (SwitchId sid = 0; sid < topo.numSwitches(); ++sid) {
+        const auto &ports = topo.ports(sid);
+        for (std::uint32_t p = 0; p < ports.size(); ++p) {
+            const PortPeer &peer = ports[p];
+            LinkConfig lc = cfg_.link;
+            lc.bandwidth = Bandwidth::fromGBps(
+                cfg_.link.bandwidth.bytesPerSecond() / 1e9 *
+                peer.bwMultiplier);
+            PacketSink *sink = nullptr;
+            std::uint32_t sink_port = 0;
+            bool to_host = false;
+            if (peer.kind == PortPeer::Kind::Host) {
+                sink = snics[peer.id].get();
+                to_host = true;
+            } else {
+                sink = switches[peer.id].get();
+                sink_port = peer.peerPort;
+            }
+            links.push_back(std::make_unique<Link>(
+                eq, lc, cfg_.proto, sink, sink_port,
+                "sw" + std::to_string(sid) + ".p" + std::to_string(p)));
+            switches[sid]->attachPort(p, links.back().get(), to_host);
+        }
+    }
+    // Host egress links (NIC -> ToR).
+    std::vector<Link *> nic_egress(cfg_.numNodes);
+    for (NodeId nid = 0; nid < cfg_.numNodes; ++nid) {
+        SwitchId tor = topo.switchOf(nid);
+        links.push_back(std::make_unique<Link>(
+            eq, cfg_.link, cfg_.proto, switches[tor].get(),
+            topo.hostPort(nid), "node" + std::to_string(nid) + ".tx"));
+        nic_egress[nid] = links.back().get();
+        snics[nid]->attachEgress(links.back().get());
+    }
+
+    // --- Routing and per-kernel configuration ---
+    for (SwitchId sid = 0; sid < topo.numSwitches(); ++sid) {
+        Switch *sw = switches[sid].get();
+        sw->setRouteFn([&topo, sid](NodeId dest) {
+            return topo.route(sid, dest);
+        });
+        sw->configureForKernel(prop_bytes);
+    }
+    for (auto &snic : snics)
+        snic->configureForKernel();
+
+    // --- Hosts ---
+    std::vector<std::unique_ptr<HostNode>> hosts;
+    hosts.reserve(cfg_.numNodes);
+    std::uint32_t done_count = 0;
+    for (NodeId nid = 0; nid < cfg_.numNodes; ++nid) {
+        std::vector<std::uint32_t> stream(
+            m.colIdx.begin() + m.rowPtr[part.begin(nid)],
+            m.colIdx.begin() + m.rowPtr[part.end(nid)]);
+        hosts.push_back(std::make_unique<HostNode>(
+            eq, cfg_.host, *snics[nid], std::move(stream), prop_bytes));
+    }
+    for (auto &h : hosts)
+        h->start([&done_count] { ++done_count; });
+
+    // --- Run ---
+    eq.runUntil(cfg_.maxSimTime);
+    if (done_count != cfg_.numNodes) {
+        ns_fatal("gather deadlocked or exceeded the simulation cap: ",
+                 done_count, "/", cfg_.numNodes, " nodes finished by ",
+                 ticks::toNs(eq.now()), " ns");
+    }
+
+    // --- Collect results ---
+    GatherRunResult r;
+    r.nodes.resize(cfg_.numNodes);
+    std::uint64_t total_rx_prs = 0, total_rx_packets = 0;
+    for (NodeId nid = 0; nid < cfg_.numNodes; ++nid) {
+        NodeRunStats &st = r.nodes[nid];
+        st.finishTick = hosts[nid]->finishTick();
+        RigClientStats cs = snics[nid]->aggregateClientStats();
+        st.idxsProcessed = cs.idxsProcessed;
+        st.localIdxs = cs.localIdxs;
+        st.prsIssued = cs.prsIssued;
+        st.filtered = cs.filtered;
+        st.coalesced = cs.coalesced;
+        st.watchdogFailures = cs.watchdogFailures;
+        st.pendingStalls = cs.pendingStalls;
+        st.txStalls = cs.txStalls;
+        st.commandsIssued = hosts[nid]->commandsIssued();
+        st.rxPackets = snics[nid]->rxPackets();
+        st.rxBytes = snics[nid]->rxBytes();
+        st.rxPayloadBytes = snics[nid]->rxPayloadBytes();
+        st.rxResponses = snics[nid]->rxResponses();
+        st.rxReads = snics[nid]->rxReads();
+        total_rx_prs += st.rxResponses + st.rxReads;
+        total_rx_packets += st.rxPackets;
+        if (st.finishTick > r.commTicks) {
+            r.commTicks = st.finishTick;
+            r.tailNode = nid;
+        }
+    }
+    for (const auto &l : links)
+        r.totalWireBytes += l->bytesSent();
+    for (const auto &sw : switches) {
+        r.cacheLookups += sw->cacheLookups();
+        r.cacheHits += sw->cacheHits();
+        r.prsServedByCache += sw->prsServedByCache();
+    }
+    r.avgPrsPerPacket =
+        total_rx_packets ? static_cast<double>(total_rx_prs) /
+                               total_rx_packets
+                         : 0.0;
+    if (r.commTicks > 0) {
+        double line_bpp = cfg_.link.bandwidth.bytesPerPs();
+        const NodeRunStats &tail = r.tail();
+        r.tailLineUtil = static_cast<double>(tail.rxBytes) /
+                         (static_cast<double>(r.commTicks) * line_bpp);
+        r.tailGoodput = static_cast<double>(tail.rxPayloadBytes) /
+                        (static_cast<double>(r.commTicks) * line_bpp);
+    }
+    return r;
+}
+
+void
+GatherRunResult::exportStats(StatRegistry &reg) const
+{
+    reg.set("cluster.commTicks", static_cast<double>(commTicks));
+    reg.set("cluster.tailNode", static_cast<double>(tailNode));
+    reg.set("cluster.totalWireBytes",
+            static_cast<double>(totalWireBytes));
+    reg.set("cluster.avgPrsPerPacket", avgPrsPerPacket);
+    reg.set("cluster.cacheLookups", static_cast<double>(cacheLookups));
+    reg.set("cluster.cacheHits", static_cast<double>(cacheHits));
+    reg.set("cluster.cacheHitRate", cacheHitRate());
+    reg.set("cluster.prsServedByCache",
+            static_cast<double>(prsServedByCache));
+    reg.set("cluster.tailGoodput", tailGoodput);
+    reg.set("cluster.tailLineUtil", tailLineUtil);
+
+    double prs = 0, filtered = 0, coalesced = 0, idxs = 0;
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+        const NodeRunStats &st = nodes[n];
+        std::string prefix = "node" + std::to_string(n) + ".";
+        reg.set(prefix + "finishTicks",
+                static_cast<double>(st.finishTick));
+        reg.set(prefix + "prsIssued", static_cast<double>(st.prsIssued));
+        reg.set(prefix + "filtered", static_cast<double>(st.filtered));
+        reg.set(prefix + "coalesced", static_cast<double>(st.coalesced));
+        reg.set(prefix + "fcRate", st.fcRate());
+        reg.set(prefix + "rxBytes", static_cast<double>(st.rxBytes));
+        reg.set(prefix + "rxPackets", static_cast<double>(st.rxPackets));
+        prs += static_cast<double>(st.prsIssued);
+        filtered += static_cast<double>(st.filtered);
+        coalesced += static_cast<double>(st.coalesced);
+        idxs += static_cast<double>(st.idxsProcessed);
+    }
+    reg.set("cluster.prsIssued", prs);
+    reg.set("cluster.filtered", filtered);
+    reg.set("cluster.coalesced", coalesced);
+    reg.set("cluster.idxsProcessed", idxs);
+}
+
+} // namespace netsparse

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Cluster assembly and the end-to-end communication simulation.
+ *
+ * ClusterSim instantiates the whole machine of Table 5 / Figure 11 -
+ * hosts, NetSparse SNICs, links, ToR and spine switches - for one of
+ * the three topologies, runs a distributed gather (the communication
+ * phase of one SpMM/SpMV/SDDMM iteration) through the event queue, and
+ * reports the statistics the paper's tables and figures are built from.
+ */
+
+#ifndef NETSPARSE_RUNTIME_CLUSTER_HH
+#define NETSPARSE_RUNTIME_CLUSTER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "host/host_node.hh"
+#include "net/link.hh"
+#include "net/switch.hh"
+#include "net/topology.hh"
+#include "runtime/feature_set.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "snic/snic.hh"
+#include "sparse/csr.hh"
+#include "sparse/partition.hh"
+
+namespace netsparse {
+
+/** Which network to build (Section 9.6). */
+enum class TopologyKind
+{
+    LeafSpine,
+    HyperX,
+    Dragonfly,
+};
+
+/** Full-machine configuration (Table 5 defaults). */
+struct ClusterConfig
+{
+    TopologyKind topology = TopologyKind::LeafSpine;
+    std::uint32_t numNodes = 128;
+    std::uint32_t nodesPerRack = 16;
+    std::uint32_t numSpines = 16;
+
+    LinkConfig link; // 400 Gbps, 450 ns
+    ProtocolParams proto;
+    SnicConfig snic;
+    HostConfig host;
+
+    Tick switchPipelineLatency = 300 * ticks::ns;
+    std::uint32_t switchConcatDelayCycles = 125; // at 2 GHz
+    std::uint32_t nicConcatDelayCycles = 500;    // at 2.2 GHz
+    double switchClockHz = 2e9;
+    std::uint64_t propertyCacheBytes = 32ull << 20; // per ToR switch
+    PropertyCacheConfig cacheGeometry;              // sizes filled below
+    /** Strictly per-pipe caches (Figure 8) vs one shared array. */
+    bool cachePerPipe = false;
+
+    FeatureSet features;
+    /** Use the Section 7.2 virtualized-CQ concatenators. */
+    bool virtualizedCqs = false;
+
+    /** Simulation safety cap; exceeding it is a deadlock. */
+    Tick maxSimTime = 60 * ticks::s;
+};
+
+/** Per-node outcome of a gather run. */
+struct NodeRunStats
+{
+    Tick finishTick = 0;
+    std::uint64_t idxsProcessed = 0;
+    std::uint64_t localIdxs = 0;
+    std::uint64_t prsIssued = 0;
+    std::uint64_t filtered = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t rxPackets = 0;
+    std::uint64_t rxBytes = 0;
+    std::uint64_t rxPayloadBytes = 0;
+    std::uint64_t rxResponses = 0;
+    std::uint64_t rxReads = 0;
+    std::uint64_t watchdogFailures = 0;
+    std::uint64_t pendingStalls = 0;
+    std::uint64_t txStalls = 0;
+    std::uint64_t commandsIssued = 0;
+
+    /** Remote idxs = PR opportunities before filtering/coalescing. */
+    std::uint64_t
+    remoteIdxs() const
+    {
+        return idxsProcessed - localIdxs;
+    }
+
+    /** Fraction of potential PRs dropped (Table 7, "F+C Rate"). */
+    double
+    fcRate() const
+    {
+        return remoteIdxs()
+                   ? static_cast<double>(filtered + coalesced) /
+                         remoteIdxs()
+                   : 0.0;
+    }
+};
+
+/** Whole-run outcome. */
+struct GatherRunResult
+{
+    Tick commTicks = 0;
+    NodeId tailNode = 0;
+    std::vector<NodeRunStats> nodes;
+
+    /** Sum over links of bytes placed on wires (counts every hop). */
+    std::uint64_t totalWireBytes = 0;
+    /** PRs per packet, averaged over packets delivered to NICs. */
+    double avgPrsPerPacket = 0.0;
+
+    std::uint64_t cacheLookups = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t prsServedByCache = 0;
+
+    double tailGoodput = 0.0;
+    double tailLineUtil = 0.0;
+
+    /** Cache hit rate over all ToR lookups. */
+    double
+    cacheHitRate() const
+    {
+        return cacheLookups ? static_cast<double>(cacheHits) / cacheLookups
+                            : 0.0;
+    }
+
+    const NodeRunStats &tail() const { return nodes[tailNode]; }
+
+    /**
+     * Export everything into a named stats registry (gem5/SST style),
+     * under "cluster.*" aggregates and "nodeN.*" per-node values.
+     */
+    void exportStats(StatRegistry &reg) const;
+};
+
+/** Builds and runs one cluster. */
+class ClusterSim
+{
+  public:
+    explicit ClusterSim(ClusterConfig cfg);
+
+    /**
+     * Run the communication phase of one kernel iteration: every node
+     * gathers the remote input properties its nonzeros touch.
+     *
+     * @param m the (square) sparse matrix.
+     * @param part the 1-D partition; numParts() must equal numNodes.
+     * @param k property width in 4-byte elements.
+     */
+    GatherRunResult runGather(const Csr &m, const Partition1D &part,
+                              std::uint32_t k);
+
+    const ClusterConfig &config() const { return cfg_; }
+
+  private:
+    ClusterConfig cfg_;
+};
+
+/** Table-5-default cluster configuration for @p nodes nodes. */
+ClusterConfig defaultClusterConfig(std::uint32_t nodes = 128);
+
+} // namespace netsparse
+
+#endif // NETSPARSE_RUNTIME_CLUSTER_HH

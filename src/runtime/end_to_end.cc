@@ -1,0 +1,54 @@
+#include "runtime/end_to_end.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace netsparse {
+
+Tick
+combinePhases(Tick comp, Tick comm, double alpha)
+{
+    ns_assert(alpha >= 0.0 && alpha <= 1.0, "alpha out of range");
+    Tick hi = std::max(comp, comm);
+    Tick lo = std::min(comp, comm);
+    return hi + static_cast<Tick>(alpha * static_cast<double>(lo));
+}
+
+EndToEndResult
+composeEndToEnd(const Csr &m, const Partition1D &part, std::uint32_t k,
+                const std::vector<Tick> &per_node_comm,
+                const EndToEndConfig &cfg)
+{
+    const std::uint32_t n = part.numParts();
+    ns_assert(per_node_comm.size() == n,
+              "per-node communication vector size mismatch");
+
+    EndToEndResult r;
+    r.perNodeTotal.resize(n);
+    Tick tail_total = 0;
+    for (NodeId i = 0; i < n; ++i) {
+        std::uint64_t nnz =
+            m.rowPtr[part.end(i)] - m.rowPtr[part.begin(i)];
+        Tick comp = spmmTime(cfg.device, nnz, part.size(i), k);
+        Tick total = combinePhases(comp, per_node_comm[i],
+                                   cfg.overlapAlpha);
+        r.perNodeTotal[i] = total;
+        r.idealTicks = std::max(r.idealTicks, comp);
+        if (total > tail_total) {
+            tail_total = total;
+            r.tailCommTicks = per_node_comm[i];
+            r.tailCompTicks = comp;
+        }
+    }
+    r.totalTicks = tail_total;
+    return r;
+}
+
+Tick
+singleNodeTime(const Csr &m, std::uint32_t k, const ComputeDevice &device)
+{
+    return spmmTime(device, m.nnz(), m.rows, k);
+}
+
+} // namespace netsparse

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * End-to-end (communication + computation) performance composition for
+ * Figures 13, 14 and 21.
+ *
+ * Per node, one kernel iteration interleaves accelerator compute with
+ * remote gathers. The paper notes the two "(partially) overlap"
+ * (Figure 14); this model composes them as
+ *
+ *     T_node = max(comp, comm) + alpha * min(comp, comm)
+ *
+ * where alpha in [0,1] is the non-overlapped fraction (alpha=0 is
+ * perfect overlap, alpha=1 fully serial). The default alpha=0.5 places
+ * NetSparse's 128-node speedup a little above half of the no-
+ * communication ideal, matching the paper's headline result.
+ */
+
+#ifndef NETSPARSE_RUNTIME_END_TO_END_HH
+#define NETSPARSE_RUNTIME_END_TO_END_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compute/models.hh"
+#include "sim/types.hh"
+#include "sparse/csr.hh"
+#include "sparse/partition.hh"
+
+namespace netsparse {
+
+/** End-to-end composition parameters. */
+struct EndToEndConfig
+{
+    ComputeDevice device;
+    /** Non-overlapped fraction of the smaller phase. */
+    double overlapAlpha = 0.5;
+};
+
+/** End-to-end outcome for one cluster size. */
+struct EndToEndResult
+{
+    /** Cluster iteration time (tail node). */
+    Tick totalTicks = 0;
+    /** Tail node's communication and compute components. */
+    Tick tailCommTicks = 0;
+    Tick tailCompTicks = 0;
+    /** Iteration time with communication assumed free (ideal line). */
+    Tick idealTicks = 0;
+    std::vector<Tick> perNodeTotal;
+};
+
+/** Compose one node's phases under the overlap model. */
+Tick combinePhases(Tick comp, Tick comm, double alpha);
+
+/**
+ * Compose per-node communication times (from ClusterSim or a baseline)
+ * with per-node SpMM compute times.
+ */
+EndToEndResult composeEndToEnd(const Csr &m, const Partition1D &part,
+                               std::uint32_t k,
+                               const std::vector<Tick> &per_node_comm,
+                               const EndToEndConfig &cfg);
+
+/** Whole-matrix single-node iteration time (the speedup baseline). */
+Tick singleNodeTime(const Csr &m, std::uint32_t k,
+                    const ComputeDevice &device);
+
+} // namespace netsparse
+
+#endif // NETSPARSE_RUNTIME_END_TO_END_HH

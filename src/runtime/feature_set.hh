@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The NetSparse mechanism toggles used by the ablation study (Table 8).
+ *
+ * The event-driven simulator always models RIG offload (the software
+ * baselines are evaluated analytically in ns_baseline); the remaining
+ * four mechanisms can be enabled progressively:
+ *
+ *   stage 0  "RIG"       - offload only
+ *   stage 1  "Filter"    - + Idx Filter
+ *   stage 2  "Coalesce"  - + Pending PR Table coalescing
+ *   stage 3  "ConcNIC"   - + NIC-level concatenation
+ *   stage 4  "Switch"    - + switch concatenation and Property Cache
+ */
+
+#ifndef NETSPARSE_RUNTIME_FEATURE_SET_HH
+#define NETSPARSE_RUNTIME_FEATURE_SET_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace netsparse {
+
+/** Which NetSparse mechanisms are active. */
+struct FeatureSet
+{
+    bool filter = true;
+    bool coalesce = true;
+    bool concatNic = true;
+    bool concatSwitch = true;
+    bool switchCache = true;
+
+    /** RIG offload with everything else off. */
+    static FeatureSet
+    rigOnly()
+    {
+        return {false, false, false, false, false};
+    }
+
+    /** The full NetSparse design point. */
+    static FeatureSet full() { return {}; }
+
+    /** Cumulative ablation stage (see file comment). */
+    static FeatureSet
+    ablationStage(std::uint32_t stage)
+    {
+        ns_assert(stage <= 4, "ablation stage out of range: ", stage);
+        FeatureSet f = rigOnly();
+        if (stage >= 1)
+            f.filter = true;
+        if (stage >= 2)
+            f.coalesce = true;
+        if (stage >= 3)
+            f.concatNic = true;
+        if (stage >= 4) {
+            f.concatSwitch = true;
+            f.switchCache = true;
+        }
+        return f;
+    }
+
+    /** Display name of an ablation stage. */
+    static const char *
+    stageName(std::uint32_t stage)
+    {
+        switch (stage) {
+          case 0: return "RIG";
+          case 1: return "Filter";
+          case 2: return "Coalesce";
+          case 3: return "ConcNIC";
+          case 4: return "Switch";
+        }
+        return "?";
+    }
+};
+
+} // namespace netsparse
+
+#endif // NETSPARSE_RUNTIME_FEATURE_SET_HH

@@ -1,0 +1,52 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace netsparse {
+
+void
+EventQueue::schedule(Tick when, Callback fn)
+{
+    ns_assert(when >= now_, "event scheduled in the past: when=", when,
+              " now=", now_);
+    heap_.push(Entry{when, nextSeq_++, std::move(fn)});
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    return heap_.empty() ? maxTick : heap_.top().when;
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    // Copy out the entry before popping so the callback may schedule
+    // new events (which can reallocate the heap storage).
+    Entry e = std::move(const_cast<Entry &>(heap_.top()));
+    heap_.pop();
+    now_ = e.when;
+    ++executed_;
+    e.fn();
+    return true;
+}
+
+Tick
+EventQueue::run()
+{
+    while (step()) {
+    }
+    return now_;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit)
+        step();
+    return now_;
+}
+
+} // namespace netsparse

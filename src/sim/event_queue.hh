@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * The event queue is the heart of the simulator. Components schedule
+ * callbacks at absolute ticks; the queue executes them in (tick, insertion
+ * order) order, which makes every simulation run bit-reproducible for a
+ * given seed.
+ */
+
+#ifndef NETSPARSE_SIM_EVENT_QUEUE_HH
+#define NETSPARSE_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace netsparse {
+
+/**
+ * A min-heap of timestamped callbacks with FIFO tie-breaking.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     * @pre when >= now(), i.e. no scheduling into the past.
+     */
+    void schedule(Tick when, Callback fn);
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    void
+    scheduleIn(Tick delay, Callback fn)
+    {
+        schedule(now_ + delay, std::move(fn));
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Time of the earliest pending event, or maxTick when empty. */
+    Tick nextEventTick() const;
+
+    /**
+     * Execute the single earliest event.
+     * @return true if an event was executed.
+     */
+    bool step();
+
+    /** Run until the queue drains. @return the final simulated time. */
+    Tick run();
+
+    /**
+     * Run until the queue drains or simulated time would pass @p limit.
+     * Events scheduled exactly at @p limit still execute.
+     */
+    Tick runUntil(Tick limit);
+
+    /** Total number of events executed so far (for micro-benchmarks). */
+    std::uint64_t executedEvents() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace netsparse
+
+#endif // NETSPARSE_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,58 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace netsparse {
+
+void
+Histogram::sample(double v)
+{
+    ++total_;
+    if (v < lo_) {
+        ++counts_.front();
+        return;
+    }
+    if (v >= hi_) {
+        ++counts_.back();
+        return;
+    }
+    std::size_t inner = counts_.size() - 2;
+    auto idx = static_cast<std::size_t>((v - lo_) / (hi_ - lo_) * inner);
+    if (idx >= inner)
+        idx = inner - 1;
+    ++counts_[idx + 1];
+}
+
+void
+StatRegistry::set(const std::string &name, double value)
+{
+    values_[name] = value;
+}
+
+void
+StatRegistry::add(const std::string &name, double value)
+{
+    values_[name] += value;
+}
+
+double
+StatRegistry::get(const std::string &name) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? 0.0 : it->second;
+}
+
+bool
+StatRegistry::has(const std::string &name) const
+{
+    return values_.count(name) != 0;
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, value] : values_)
+        os << std::left << std::setw(48) << name << " " << value << "\n";
+}
+
+} // namespace netsparse

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Lightweight statistics package (scalar counters, averages, histograms)
+ * with a named registry, in the spirit of the gem5/SST stats packages.
+ */
+
+#ifndef NETSPARSE_SIM_STATS_HH
+#define NETSPARSE_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace netsparse {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    void operator+=(std::uint64_t v) { value_ += v; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Accumulates samples; reports count / sum / mean / min / max. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        ++count_;
+        sum_ += v;
+        if (count_ == 1 || v < min_)
+            min_ = v;
+        if (count_ == 1 || v > max_)
+            max_ = v;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    void reset() { *this = Average(); }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-bucket linear histogram over [lo, hi) with under/overflow bins. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets)
+        : lo_(lo), hi_(hi), counts_(buckets + 2, 0)
+    {}
+
+    void sample(double v);
+
+    /** Count in bucket @p i; bucket 0 is underflow, last is overflow. */
+    std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+    std::size_t numBuckets() const { return counts_.size(); }
+    std::uint64_t totalSamples() const { return total_; }
+
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
+  private:
+    double lo_, hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * A registry of named scalar statistics.
+ *
+ * Components register values under hierarchical dotted names
+ * (e.g. "node3.snic.rig0.prsIssued"); dump() prints them sorted.
+ */
+class StatRegistry
+{
+  public:
+    /** Set (or overwrite) a named scalar. */
+    void set(const std::string &name, double value);
+
+    /** Add to a named scalar (creating it at zero). */
+    void add(const std::string &name, double value);
+
+    /** Fetch a scalar; returns 0 when absent. */
+    double get(const std::string &name) const;
+
+    /** True when the name exists. */
+    bool has(const std::string &name) const;
+
+    /** Print "name value" lines sorted by name. */
+    void dump(std::ostream &os) const;
+
+    const std::map<std::string, double> &all() const { return values_; }
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+} // namespace netsparse
+
+#endif // NETSPARSE_SIM_STATS_HH

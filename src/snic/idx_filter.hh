@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The Idx Filter (Section 5.2): a per-node bitvector, one bit per column
+ * of the sparse matrix, allocated in SNIC DRAM and shared by all client
+ * RIG units of the node. A set bit means the property for that idx has
+ * already been fetched and written to host memory, so any further PR for
+ * it is redundant and can be dropped ("filtering").
+ *
+ * The RIG units reach the filter through a small L1/L2 hierarchy; those
+ * accesses are fully pipelined in the paper's design and therefore do
+ * not limit idx throughput, so the simulator models them as free.
+ */
+
+#ifndef NETSPARSE_SNIC_IDX_FILTER_HH
+#define NETSPARSE_SNIC_IDX_FILTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace netsparse {
+
+/** One per-node Idx Filter bitvector. */
+class IdxFilter
+{
+  public:
+    /** @param num_idxs number of columns of the sparse matrix. */
+    explicit IdxFilter(std::uint64_t num_idxs)
+        : bits_((num_idxs + 63) / 64, 0), numIdxs_(num_idxs)
+    {}
+
+    /** True when the property for @p idx has already been fetched. */
+    bool
+    test(PropIdx idx) const
+    {
+        ns_assert(idx < numIdxs_, "idx ", idx, " outside the filter");
+        return bits_[idx >> 6] >> (idx & 63) & 1;
+    }
+
+    /** Mark @p idx as fetched. */
+    void
+    set(PropIdx idx)
+    {
+        ns_assert(idx < numIdxs_, "idx ", idx, " outside the filter");
+        bits_[idx >> 6] |= 1ull << (idx & 63);
+    }
+
+    /** Reset for a new kernel iteration. */
+    void
+    clear()
+    {
+        std::fill(bits_.begin(), bits_.end(), 0);
+    }
+
+    /** SNIC DRAM footprint in bytes. */
+    std::uint64_t sizeBytes() const { return bits_.size() * 8; }
+
+    std::uint64_t numIdxs() const { return numIdxs_; }
+
+  private:
+    std::vector<std::uint64_t> bits_;
+    std::uint64_t numIdxs_;
+};
+
+} // namespace netsparse
+
+#endif // NETSPARSE_SNIC_IDX_FILTER_HH

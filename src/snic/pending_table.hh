@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The Pending PR Table (Section 5.2): a per-RIG-unit CAM tracking the
+ * unit's outstanding PRs. A new idx that matches an outstanding entry is
+ * "coalesced": no new PR is issued and the idx waits for the response of
+ * the entry it matched. Only PRs from the same RIG unit coalesce (the
+ * paper avoids cross-unit synchronization).
+ */
+
+#ifndef NETSPARSE_SNIC_PENDING_TABLE_HH
+#define NETSPARSE_SNIC_PENDING_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace netsparse {
+
+/** One Pending PR Table (a CAM with a fixed number of entries). */
+class PendingPrTable
+{
+  public:
+    explicit PendingPrTable(std::uint32_t capacity) : capacity_(capacity)
+    {
+        ns_assert(capacity_ > 0, "pending table needs capacity");
+    }
+
+    /** True when no more PRs can be tracked (the RIG unit must stall). */
+    bool full() const { return total_ >= capacity_; }
+
+    /** True when a PR for @p idx is outstanding. */
+    bool contains(PropIdx idx) const { return entries_.count(idx) != 0; }
+
+    /**
+     * Track a newly issued PR. With coalescing disabled, several PRs
+     * for the same idx can be outstanding at once; each occupies its
+     * own CAM entry. @pre !full().
+     */
+    void
+    insert(PropIdx idx)
+    {
+        ns_assert(!full(), "pending table overflow");
+        ++entries_[idx].outstanding;
+        ++total_;
+        maxOccupancy_ = std::max<std::uint64_t>(maxOccupancy_, total_);
+    }
+
+    /** Coalesce another idx occurrence onto an outstanding entry. */
+    void
+    addWaiter(PropIdx idx)
+    {
+        auto it = entries_.find(idx);
+        ns_assert(it != entries_.end(), "no pending entry for idx ", idx);
+        ++it->second.waiters;
+    }
+
+    /**
+     * A response arrived: retire one entry for @p idx.
+     * @return number of idx occurrences it satisfies (1 + waiters once
+     *         the last duplicate retires), or 0 when nothing was
+     *         outstanding (stale response).
+     */
+    std::uint32_t
+    complete(PropIdx idx)
+    {
+        auto it = entries_.find(idx);
+        if (it == entries_.end())
+            return 0;
+        ns_assert(total_ > 0, "pending table accounting underflow");
+        --total_;
+        if (it->second.outstanding > 1) {
+            --it->second.outstanding;
+            return 1;
+        }
+        std::uint32_t served = 1 + it->second.waiters;
+        entries_.erase(it);
+        return served;
+    }
+
+    /** Discard every entry (watchdog-triggered RIG failure). */
+    void
+    reset()
+    {
+        entries_.clear();
+        total_ = 0;
+    }
+
+    /** Outstanding PRs (CAM entries in use). */
+    std::uint32_t size() const { return total_; }
+
+    std::uint32_t capacity() const { return capacity_; }
+    std::uint64_t maxOccupancy() const { return maxOccupancy_; }
+
+  private:
+    struct Entry
+    {
+        std::uint32_t outstanding = 0;
+        std::uint32_t waiters = 0;
+    };
+
+    std::uint32_t capacity_;
+    std::unordered_map<PropIdx, Entry> entries_;
+    std::uint32_t total_ = 0;
+    std::uint64_t maxOccupancy_ = 0;
+};
+
+} // namespace netsparse
+
+#endif // NETSPARSE_SNIC_PENDING_TABLE_HH

@@ -1,0 +1,218 @@
+#include "snic/rig_unit.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace netsparse {
+
+RigClientUnit::RigClientUnit(EventQueue &eq, const RigUnitConfig &cfg,
+                             SnicContext &ctx, std::uint16_t tid)
+    : eq_(eq), cfg_(cfg), ctx_(ctx), tid_(tid), clock_(cfg.clockHz),
+      pending_(cfg.pendingCapacity)
+{}
+
+void
+RigClientUnit::start(RigCommand cmd)
+{
+    ns_assert(!active_, "RIG unit ", tid_, " is busy");
+    ns_assert(cmd.idxs || cmd.count == 0, "command without an idx list");
+    ns_assert(cmd.onComplete, "command without a completion callback");
+
+    active_ = true;
+    cmd_ = std::move(cmd);
+    nextIdx_ = 0;
+    outstanding_ = 0;
+    waitingForPending_ = false;
+    lastWriteDone_ = eq_.now();
+    ++epoch_;
+    ++stats_.commands;
+
+    // DMA the idx batch from host memory into the Idx Buffer. Refills
+    // during processing are double-buffered and fully hidden (16 ns of
+    // PCIe serialization per 4 KB vs ~465 ns to process 1024 idxs), so
+    // only the initial fill delays the pipeline.
+    std::uint64_t first_fill =
+        std::min<std::uint64_t>(cmd_.count * 4, cfg_.idxBufferBytes);
+    Tick ready = cmd_.count ? ctx_.pcie().transfer(first_fill) : eq_.now();
+    scheduleChunk(ready);
+
+    if (cfg_.watchdogTimeout > 0) {
+        std::uint64_t epoch = epoch_;
+        eq_.scheduleIn(cfg_.watchdogTimeout, [this, epoch] {
+            if (active_ && epoch_ == epoch) {
+                // The operation timed out: discard partial results and
+                // report failure to the host (Section 7.1).
+                ++stats_.watchdogFailures;
+                pending_.reset();
+                finish(false);
+            }
+        });
+    }
+}
+
+void
+RigClientUnit::scheduleChunk(Tick when)
+{
+    if (chunkScheduled_)
+        return;
+    chunkScheduled_ = true;
+    eq_.schedule(std::max(when, eq_.now()), [this] {
+        chunkScheduled_ = false;
+        processChunk();
+    });
+}
+
+void
+RigClientUnit::processChunk()
+{
+    if (!active_)
+        return;
+
+    std::uint32_t consumed = 0;
+    while (consumed < cfg_.chunkPerEvent && nextIdx_ < cmd_.count) {
+        PropIdx idx = cmd_.idxs[nextIdx_];
+        ++consumed; // one pipeline slot per examined idx
+
+        NodeId dest = ctx_.ownerOf(idx);
+        if (dest == ctx_.selfNode()) {
+            ++stats_.localIdxs;
+            ++stats_.idxsProcessed;
+            ++nextIdx_;
+            continue;
+        }
+        if (cfg_.filterEnabled && ctx_.idxFilter().test(idx)) {
+            ++stats_.filtered;
+            ++stats_.idxsProcessed;
+            ++nextIdx_;
+            continue;
+        }
+        if (cfg_.coalesceEnabled && pending_.contains(idx)) {
+            pending_.addWaiter(idx);
+            ++stats_.coalesced;
+            ++stats_.idxsProcessed;
+            ++nextIdx_;
+            continue;
+        }
+        if (pending_.full()) {
+            // Stall until a response frees an entry.
+            ++stats_.pendingStalls;
+            waitingForPending_ = true;
+            return; // resumed by onResponse
+
+        }
+        if (ctx_.txBackpressured()) {
+            ++stats_.txStalls;
+            scheduleChunk(eq_.now() + clock_.cycles(consumed) +
+                          cfg_.txRetryInterval);
+            return;
+        }
+
+        pending_.insert(idx);
+        ++outstanding_;
+        ++stats_.prsIssued;
+        ++stats_.idxsProcessed;
+        ++nextIdx_;
+
+        PropertyRequest pr;
+        pr.type = PrType::Read;
+        pr.src = ctx_.selfNode();
+        pr.srcTid = tid_;
+        pr.idx = idx;
+        pr.reqId = nextReqId_++;
+        pr.propBytes = cmd_.propBytes;
+        pr.payloadBytes = 0;
+        ctx_.sendPr(std::move(pr), dest);
+    }
+
+    if (nextIdx_ < cmd_.count) {
+        scheduleChunk(eq_.now() + clock_.cycles(consumed));
+    } else {
+        maybeComplete();
+    }
+}
+
+void
+RigClientUnit::onResponse(const PropertyRequest &pr)
+{
+    std::uint32_t served = pending_.complete(pr.idx);
+    if (served == 0 || !active_) {
+        // Response for a command that already failed (watchdog) or a
+        // duplicate; drop it.
+        ++stats_.staleResponses;
+        return;
+    }
+    ++stats_.responses;
+
+    ns_assert(pr.checksum == propertyChecksum(pr.idx),
+              "corrupt property for idx ", pr.idx);
+
+    // Write the property to host memory and publish the Idx Filter bit
+    // so other units stop requesting it.
+    lastWriteDone_ =
+        std::max(lastWriteDone_, ctx_.pcie().transfer(pr.payloadBytes));
+    if (cfg_.filterEnabled)
+        ctx_.idxFilter().set(pr.idx);
+
+    ns_assert(outstanding_ > 0, "response with nothing outstanding");
+    --outstanding_;
+
+    if (waitingForPending_) {
+        waitingForPending_ = false;
+        scheduleChunk(eq_.now());
+    }
+    maybeComplete();
+}
+
+void
+RigClientUnit::maybeComplete()
+{
+    if (!active_ || nextIdx_ < cmd_.count || outstanding_ > 0)
+        return;
+    finish(true);
+}
+
+void
+RigClientUnit::finish(bool success)
+{
+    active_ = false;
+    ++epoch_;
+    auto cb = std::move(cmd_.onComplete);
+    // Completion reaches the host after the last property write lands
+    // plus one PCIe crossing for the notification.
+    Tick when = std::max(eq_.now(), lastWriteDone_) + ctx_.pcie().latency();
+    eq_.schedule(when, [cb = std::move(cb), success] { cb(success); });
+}
+
+RigServerUnit::RigServerUnit(EventQueue &eq, const RigUnitConfig &cfg,
+                             SnicContext &ctx, std::uint16_t tid)
+    : eq_(eq), cfg_(cfg), ctx_(ctx), tid_(tid), clock_(cfg.clockHz)
+{}
+
+void
+RigServerUnit::handleRead(PropertyRequest &&pr)
+{
+    ns_assert(pr.type == PrType::Read, "server unit got a non-read PR");
+    ++stats_.readsServed;
+    stats_.bytesFetched += pr.propBytes;
+
+    // Pipelined at one PR per cycle; each PR pays the host memory and
+    // PCIe fetch latency.
+    Tick issue = std::max(eq_.now(), nextIssue_);
+    nextIssue_ = issue + clock_.period();
+    Tick fetched = std::max(
+        issue, ctx_.pcie().transfer(pr.propBytes) + cfg_.serverMemLatency);
+
+    auto resp = std::make_shared<PropertyRequest>(std::move(pr));
+    resp->type = PrType::Response;
+    resp->payloadBytes = resp->propBytes;
+    resp->checksum = propertyChecksum(resp->idx);
+
+    eq_.schedule(fetched, [this, resp]() mutable {
+        NodeId back = resp->src;
+        ctx_.sendPr(std::move(*resp), back);
+    });
+}
+
+} // namespace netsparse

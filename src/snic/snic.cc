@@ -1,0 +1,122 @@
+#include "snic/snic.hh"
+
+#include "sim/logging.hh"
+
+namespace netsparse {
+
+Snic::Snic(EventQueue &eq, SnicConfig cfg, NodeId self,
+           std::function<NodeId(PropIdx)> owner_of, std::uint64_t num_idxs,
+           std::string name)
+    : eq_(eq), cfg_(cfg), self_(self), ownerOf_(std::move(owner_of)),
+      name_(std::move(name)), filter_(num_idxs), pcie_(eq, cfg.pcie)
+{
+    ns_assert(cfg_.numRigUnits >= 2, "need at least 1 client + 1 server");
+    std::uint32_t num_clients = cfg_.numRigUnits / 2;
+    for (std::uint32_t c = 0; c < num_clients; ++c) {
+        clients_.push_back(std::make_unique<RigClientUnit>(
+            eq_, cfg_.rigUnit, *this, static_cast<std::uint16_t>(c)));
+    }
+    for (std::uint32_t s = num_clients; s < cfg_.numRigUnits; ++s) {
+        servers_.push_back(std::make_unique<RigServerUnit>(
+            eq_, cfg_.rigUnit, *this, static_cast<std::uint16_t>(s)));
+    }
+    concat_ = std::make_unique<Concatenator>(
+        eq_, cfg_.concat, [this](Packet &&pkt) {
+            ns_assert(egress_, "SNIC ", name_, " has no egress link");
+            egress_->send(std::move(pkt));
+        });
+}
+
+void
+Snic::configureForKernel()
+{
+    filter_.clear();
+}
+
+void
+Snic::postRig(std::uint32_t c, RigCommand cmd)
+{
+    ns_assert(c < clients_.size(), "no such client unit: ", c);
+    ns_assert(!clients_[c]->busy(), "client unit ", c, " is busy");
+    auto holder = std::make_shared<RigCommand>(std::move(cmd));
+    // The doorbell write crosses PCIe before the unit sees the command.
+    eq_.scheduleIn(pcie_.latency(), [this, c, holder]() mutable {
+        clients_[c]->start(std::move(*holder));
+    });
+}
+
+void
+Snic::sendPr(PropertyRequest &&pr, NodeId dest)
+{
+    ns_assert(dest != self_, "PR addressed to its own node");
+    concat_->push(std::move(pr), dest);
+}
+
+bool
+Snic::txBackpressured() const
+{
+    if (!egress_)
+        return false;
+    return egress_->queuedBytes() + concat_->occupiedBytes() >
+           cfg_.txBufferBytes;
+}
+
+void
+Snic::receivePacket(Packet &&pkt, std::uint32_t in_port)
+{
+    (void)in_port;
+    ++rxPackets_;
+    rxBytes_ += pkt.wireBytes(cfg_.proto);
+    rxPayloadBytes_ += pkt.payloadBytes();
+
+    for (auto &pr : deconcatenate(std::move(pkt))) {
+        if (pr.type == PrType::Response) {
+            ++rxResponses_;
+            ns_assert(pr.src == self_,
+                      "response delivered to the wrong node");
+            ns_assert(pr.srcTid < clients_.size(),
+                      "response for unknown client tid ", pr.srcTid);
+            clients_[pr.srcTid]->onResponse(pr);
+        } else {
+            ++rxReads_;
+            // Q Control: dispatch reads to server units round-robin.
+            servers_[nextServer_]->handleRead(std::move(pr));
+            nextServer_ = (nextServer_ + 1) %
+                          static_cast<std::uint32_t>(servers_.size());
+        }
+    }
+}
+
+RigClientStats
+Snic::aggregateClientStats() const
+{
+    RigClientStats out;
+    for (const auto &c : clients_) {
+        const auto &s = c->stats();
+        out.commands += s.commands;
+        out.idxsProcessed += s.idxsProcessed;
+        out.localIdxs += s.localIdxs;
+        out.prsIssued += s.prsIssued;
+        out.filtered += s.filtered;
+        out.coalesced += s.coalesced;
+        out.responses += s.responses;
+        out.staleResponses += s.staleResponses;
+        out.pendingStalls += s.pendingStalls;
+        out.txStalls += s.txStalls;
+        out.watchdogFailures += s.watchdogFailures;
+    }
+    return out;
+}
+
+RigServerStats
+Snic::aggregateServerStats() const
+{
+    RigServerStats out;
+    for (const auto &s : servers_) {
+        out.readsServed += s->stats().readsServed;
+        out.bytesFetched += s->stats().bytesFetched;
+    }
+    return out;
+}
+
+} // namespace netsparse

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The NetSparse SmartNIC (Figure 4): RIG units (client and server),
+ * the shared Idx Filter, the NIC-level (De)Concatenator, the transmit
+ * buffer, and the Q Control dispatcher for incoming read PRs.
+ */
+
+#ifndef NETSPARSE_SNIC_SNIC_HH
+#define NETSPARSE_SNIC_SNIC_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "concat/concatenator.hh"
+#include "net/link.hh"
+#include "net/protocol.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+#include "snic/idx_filter.hh"
+#include "snic/pcie.hh"
+#include "snic/rig_unit.hh"
+
+namespace netsparse {
+
+/** Static SNIC parameters (Table 5 defaults). */
+struct SnicConfig
+{
+    /** Total RIG units; half run as clients, half as servers. */
+    std::uint32_t numRigUnits = 32;
+    RigUnitConfig rigUnit;
+    /** NIC-level concatenation point. */
+    ConcatConfig concat;
+    ProtocolParams proto;
+    PcieConfig pcie;
+    /** Tx buffer; the RIG clients stall when it fills (backpressure). */
+    std::uint64_t txBufferBytes = 2ull << 20;
+};
+
+/**
+ * One node's SmartNIC. Client units are addressed by tids
+ * [0, numClients); server units by [numClients, numRigUnits).
+ */
+class Snic : public PacketSink, public SnicContext
+{
+  public:
+    /**
+     * @param owner_of the Destination Solver: property idx -> home node.
+     * @param num_idxs Idx Filter width (columns of the sparse matrix).
+     */
+    Snic(EventQueue &eq, SnicConfig cfg, NodeId self,
+         std::function<NodeId(PropIdx)> owner_of, std::uint64_t num_idxs,
+         std::string name);
+
+    /** Attach the egress link toward this node's ToR switch. */
+    void attachEgress(Link *egress) { egress_ = egress; }
+
+    /** Reset per-kernel state (Idx Filter) before an iteration. */
+    void configureForKernel();
+
+    // --- Host-facing interface (driven by the verbs layer) ---
+
+    std::uint32_t numClientUnits() const
+    {
+        return static_cast<std::uint32_t>(clients_.size());
+    }
+
+    /** True while client unit @p c executes a command. */
+    bool clientBusy(std::uint32_t c) const { return clients_[c]->busy(); }
+
+    /**
+     * Post a RIG work request to client unit @p c. The call models the
+     * host's doorbell write: the command starts one PCIe crossing later.
+     */
+    void postRig(std::uint32_t c, RigCommand cmd);
+
+    // --- Network-facing interface ---
+
+    void receivePacket(Packet &&pkt, std::uint32_t inPort) override;
+
+    // --- SnicContext (services for the RIG units) ---
+
+    NodeId selfNode() const override { return self_; }
+    NodeId ownerOf(PropIdx idx) const override { return ownerOf_(idx); }
+    void sendPr(PropertyRequest &&pr, NodeId dest) override;
+    bool txBackpressured() const override;
+    IdxFilter &idxFilter() override { return filter_; }
+    PcieModel &pcie() override { return pcie_; }
+
+    // --- Statistics ---
+
+    RigClientStats aggregateClientStats() const;
+    RigServerStats aggregateServerStats() const;
+    const Concatenator &concatenator() const { return *concat_; }
+    std::uint64_t rxPackets() const { return rxPackets_; }
+    std::uint64_t rxBytes() const { return rxBytes_; }
+    std::uint64_t rxPayloadBytes() const { return rxPayloadBytes_; }
+    std::uint64_t rxResponses() const { return rxResponses_; }
+    std::uint64_t rxReads() const { return rxReads_; }
+
+    RigClientUnit &clientUnit(std::uint32_t c) { return *clients_[c]; }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    EventQueue &eq_;
+    SnicConfig cfg_;
+    NodeId self_;
+    std::function<NodeId(PropIdx)> ownerOf_;
+    std::string name_;
+
+    IdxFilter filter_;
+    PcieModel pcie_;
+    std::vector<std::unique_ptr<RigClientUnit>> clients_;
+    std::vector<std::unique_ptr<RigServerUnit>> servers_;
+    std::unique_ptr<Concatenator> concat_;
+    Link *egress_ = nullptr;
+    std::uint32_t nextServer_ = 0; // Q Control round-robin pointer
+
+    std::uint64_t rxPackets_ = 0;
+    std::uint64_t rxBytes_ = 0;
+    std::uint64_t rxPayloadBytes_ = 0;
+    std::uint64_t rxResponses_ = 0;
+    std::uint64_t rxReads_ = 0;
+};
+
+} // namespace netsparse
+
+#endif // NETSPARSE_SNIC_SNIC_HH

@@ -1,0 +1,72 @@
+#include "sparse/coo.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace netsparse {
+
+void
+Coo::sortRowMajor()
+{
+    std::vector<std::size_t> perm(nnz());
+    std::iota(perm.begin(), perm.end(), 0);
+    std::stable_sort(perm.begin(), perm.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         if (rowIdx[a] != rowIdx[b])
+                             return rowIdx[a] < rowIdx[b];
+                         return colIdx[a] < colIdx[b];
+                     });
+
+    auto apply = [&](auto &v) {
+        using T = std::decay_t<decltype(v[0])>;
+        std::vector<T> out(v.size());
+        for (std::size_t i = 0; i < v.size(); ++i)
+            out[i] = v[perm[i]];
+        v = std::move(out);
+    };
+    apply(rowIdx);
+    apply(colIdx);
+    if (hasValues())
+        apply(vals);
+}
+
+void
+Coo::dedupe()
+{
+    if (nnz() == 0)
+        return;
+    std::size_t w = 0;
+    for (std::size_t i = 1; i < nnz(); ++i) {
+        if (rowIdx[i] == rowIdx[w] && colIdx[i] == colIdx[w]) {
+            if (hasValues())
+                vals[w] += vals[i];
+        } else {
+            ++w;
+            rowIdx[w] = rowIdx[i];
+            colIdx[w] = colIdx[i];
+            if (hasValues())
+                vals[w] = vals[i];
+        }
+    }
+    rowIdx.resize(w + 1);
+    colIdx.resize(w + 1);
+    if (hasValues())
+        vals.resize(w + 1);
+}
+
+void
+Coo::validate() const
+{
+    ns_assert(rowIdx.size() == colIdx.size(),
+              "row/col arrays differ in length");
+    ns_assert(vals.empty() || vals.size() == rowIdx.size(),
+              "value array length mismatch");
+    for (std::size_t i = 0; i < nnz(); ++i) {
+        ns_assert(rowIdx[i] < rows, "row index out of range at nnz ", i);
+        ns_assert(colIdx[i] < cols, "col index out of range at nnz ", i);
+    }
+}
+
+} // namespace netsparse

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Coordinate-format (COO) sparse matrix.
+ */
+
+#ifndef NETSPARSE_SPARSE_COO_HH
+#define NETSPARSE_SPARSE_COO_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace netsparse {
+
+/**
+ * A sparse matrix as parallel arrays of (row, col[, value]) triples.
+ *
+ * Values are optional: graph-style "pattern" matrices leave vals empty,
+ * in which case every nonzero has an implicit value of 1.0f.
+ */
+struct Coo
+{
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    std::vector<std::uint32_t> rowIdx;
+    std::vector<std::uint32_t> colIdx;
+    std::vector<float> vals;
+
+    std::size_t nnz() const { return rowIdx.size(); }
+    bool hasValues() const { return !vals.empty(); }
+
+    /** Append one nonzero. */
+    void
+    push(std::uint32_t r, std::uint32_t c)
+    {
+        rowIdx.push_back(r);
+        colIdx.push_back(c);
+    }
+
+    /** Append one nonzero with an explicit value. */
+    void
+    push(std::uint32_t r, std::uint32_t c, float v)
+    {
+        push(r, c);
+        vals.push_back(v);
+    }
+
+    /** Value of nonzero @p i (1.0 for pattern matrices). */
+    float
+    valueAt(std::size_t i) const
+    {
+        return hasValues() ? vals[i] : 1.0f;
+    }
+
+    /** Sort nonzeros by (row, col). Stable with respect to duplicates. */
+    void sortRowMajor();
+
+    /**
+     * Remove duplicate (row, col) entries, summing values.
+     * @pre the matrix is sorted row-major.
+     */
+    void dedupe();
+
+    /** Panic unless all coordinates are in range. */
+    void validate() const;
+};
+
+} // namespace netsparse
+
+#endif // NETSPARSE_SPARSE_COO_HH

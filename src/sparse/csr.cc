@@ -1,0 +1,97 @@
+#include "sparse/csr.hh"
+
+#include "sim/logging.hh"
+
+namespace netsparse {
+
+Csr
+Csr::fromCoo(const Coo &coo)
+{
+    Csr m;
+    m.rows = coo.rows;
+    m.cols = coo.cols;
+    m.rowPtr.assign(static_cast<std::size_t>(coo.rows) + 1, 0);
+    m.colIdx.resize(coo.nnz());
+    if (coo.hasValues())
+        m.vals.resize(coo.nnz());
+
+    for (std::size_t i = 0; i < coo.nnz(); ++i)
+        ++m.rowPtr[coo.rowIdx[i] + 1];
+    for (std::size_t r = 0; r < coo.rows; ++r)
+        m.rowPtr[r + 1] += m.rowPtr[r];
+
+    std::vector<std::uint64_t> cursor(m.rowPtr.begin(), m.rowPtr.end() - 1);
+    for (std::size_t i = 0; i < coo.nnz(); ++i) {
+        std::uint64_t pos = cursor[coo.rowIdx[i]]++;
+        m.colIdx[pos] = coo.colIdx[i];
+        if (coo.hasValues())
+            m.vals[pos] = coo.vals[i];
+    }
+    return m;
+}
+
+Coo
+Csr::toCoo() const
+{
+    Coo coo;
+    coo.rows = rows;
+    coo.cols = cols;
+    coo.rowIdx.reserve(nnz());
+    coo.colIdx.reserve(nnz());
+    if (hasValues())
+        coo.vals.reserve(nnz());
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        for (std::uint64_t i = rowPtr[r]; i < rowPtr[r + 1]; ++i) {
+            coo.rowIdx.push_back(r);
+            coo.colIdx.push_back(colIdx[i]);
+            if (hasValues())
+                coo.vals.push_back(vals[i]);
+        }
+    }
+    return coo;
+}
+
+Csr
+Csr::transposed() const
+{
+    Csr t;
+    t.rows = cols;
+    t.cols = rows;
+    t.rowPtr.assign(static_cast<std::size_t>(cols) + 1, 0);
+    t.colIdx.resize(nnz());
+    if (hasValues())
+        t.vals.resize(nnz());
+
+    for (std::size_t i = 0; i < nnz(); ++i)
+        ++t.rowPtr[colIdx[i] + 1];
+    for (std::size_t c = 0; c < cols; ++c)
+        t.rowPtr[c + 1] += t.rowPtr[c];
+
+    std::vector<std::uint64_t> cursor(t.rowPtr.begin(), t.rowPtr.end() - 1);
+    for (std::uint32_t r = 0; r < rows; ++r) {
+        for (std::uint64_t i = rowPtr[r]; i < rowPtr[r + 1]; ++i) {
+            std::uint64_t pos = cursor[colIdx[i]]++;
+            t.colIdx[pos] = r;
+            if (hasValues())
+                t.vals[pos] = vals[i];
+        }
+    }
+    return t;
+}
+
+void
+Csr::validate() const
+{
+    ns_assert(rowPtr.size() == static_cast<std::size_t>(rows) + 1,
+              "rowPtr length mismatch");
+    ns_assert(rowPtr.front() == 0, "rowPtr must start at zero");
+    ns_assert(rowPtr.back() == nnz(), "rowPtr must end at nnz");
+    ns_assert(vals.empty() || vals.size() == colIdx.size(),
+              "value array length mismatch");
+    for (std::uint32_t r = 0; r < rows; ++r)
+        ns_assert(rowPtr[r] <= rowPtr[r + 1], "rowPtr not monotone at ", r);
+    for (auto c : colIdx)
+        ns_assert(c < cols, "col index out of range");
+}
+
+} // namespace netsparse

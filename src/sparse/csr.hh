@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Compressed sparse row (CSR) matrix.
+ */
+
+#ifndef NETSPARSE_SPARSE_CSR_HH
+#define NETSPARSE_SPARSE_CSR_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/coo.hh"
+
+namespace netsparse {
+
+/**
+ * CSR sparse matrix. rowPtr has rows+1 entries; the column indices of row
+ * r live in colIdx[rowPtr[r] .. rowPtr[r+1]).
+ */
+struct Csr
+{
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    std::vector<std::uint64_t> rowPtr;
+    std::vector<std::uint32_t> colIdx;
+    std::vector<float> vals;
+
+    std::size_t nnz() const { return colIdx.size(); }
+    bool hasValues() const { return !vals.empty(); }
+
+    /** Number of nonzeros in row @p r. */
+    std::uint64_t
+    rowDegree(std::uint32_t r) const
+    {
+        return rowPtr[r + 1] - rowPtr[r];
+    }
+
+    /** Column indices of row @p r. */
+    std::span<const std::uint32_t>
+    rowCols(std::uint32_t r) const
+    {
+        return {colIdx.data() + rowPtr[r],
+                static_cast<std::size_t>(rowDegree(r))};
+    }
+
+    /** Value of nonzero @p i (1.0 for pattern matrices). */
+    float
+    valueAt(std::size_t i) const
+    {
+        return hasValues() ? vals[i] : 1.0f;
+    }
+
+    /** Build from a COO matrix (any nonzero order; duplicates kept). */
+    static Csr fromCoo(const Coo &coo);
+
+    /** Convert back to row-major-sorted COO. */
+    Coo toCoo() const;
+
+    /** Transposed copy (CSC of the original, expressed as CSR). */
+    Csr transposed() const;
+
+    /** Panic unless structurally consistent. */
+    void validate() const;
+};
+
+} // namespace netsparse
+
+#endif // NETSPARSE_SPARSE_CSR_HH

@@ -1,0 +1,75 @@
+#include "sparse/kernels.hh"
+
+#include "sim/logging.hh"
+
+namespace netsparse {
+
+std::vector<float>
+spmm(const Csr &a, const std::vector<float> &x, std::uint32_t k)
+{
+    ns_assert(x.size() == static_cast<std::size_t>(a.cols) * k,
+              "X must be cols x K");
+    std::vector<float> y(static_cast<std::size_t>(a.rows) * k, 0.0f);
+    for (std::uint32_t r = 0; r < a.rows; ++r) {
+        float *yr = y.data() + static_cast<std::size_t>(r) * k;
+        for (std::uint64_t i = a.rowPtr[r]; i < a.rowPtr[r + 1]; ++i) {
+            const float *xc =
+                x.data() + static_cast<std::size_t>(a.colIdx[i]) * k;
+            float v = a.valueAt(i);
+            for (std::uint32_t j = 0; j < k; ++j)
+                yr[j] += v * xc[j];
+        }
+    }
+    return y;
+}
+
+std::vector<float>
+spmv(const Csr &a, const std::vector<float> &x)
+{
+    return spmm(a, x, 1);
+}
+
+std::vector<float>
+sddmm(const Csr &a, const std::vector<float> &u,
+      const std::vector<float> &v, std::uint32_t k)
+{
+    ns_assert(u.size() == static_cast<std::size_t>(a.rows) * k,
+              "U must be rows x K");
+    ns_assert(v.size() == static_cast<std::size_t>(a.cols) * k,
+              "V must be cols x K");
+    std::vector<float> out(a.nnz(), 0.0f);
+    for (std::uint32_t r = 0; r < a.rows; ++r) {
+        const float *ur = u.data() + static_cast<std::size_t>(r) * k;
+        for (std::uint64_t i = a.rowPtr[r]; i < a.rowPtr[r + 1]; ++i) {
+            const float *vc =
+                v.data() + static_cast<std::size_t>(a.colIdx[i]) * k;
+            float dot = 0.0f;
+            for (std::uint32_t j = 0; j < k; ++j)
+                dot += ur[j] * vc[j];
+            out[i] = a.valueAt(i) * dot;
+        }
+    }
+    return out;
+}
+
+KernelCost
+spmmCost(std::uint64_t nnz, std::uint64_t rows, std::uint32_t k)
+{
+    KernelCost c;
+    c.flops = nnz * k; // one multiply-add per (nonzero, property element)
+    // Streamed traffic: read each nonzero's index+value (8B) and its
+    // input property row (4K bytes), write each output row once.
+    c.bytes = nnz * (8 + 4ull * k) + rows * 4ull * k;
+    return c;
+}
+
+KernelCost
+sddmmCost(std::uint64_t nnz, std::uint32_t k)
+{
+    KernelCost c;
+    c.flops = nnz * k;
+    c.bytes = nnz * (8 + 8ull * k + 4); // U row + V row + output value
+    return c;
+}
+
+} // namespace netsparse

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reference implementations of the three sparse kernels the paper
+ * targets: SpMM, SpMV and SDDMM (Section 2.1).
+ *
+ * Dense operands are row-major: a "property array" X for a matrix with C
+ * columns and property size K is a C x K row-major float buffer; property
+ * i occupies X[i*K .. i*K+K).
+ *
+ * These kernels are single-node references used (a) by the examples,
+ * (b) to verify the distributed gather path end to end, and (c) by the
+ * compute-time models as the operation/byte counters.
+ */
+
+#ifndef NETSPARSE_SPARSE_KERNELS_HH
+#define NETSPARSE_SPARSE_KERNELS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace netsparse {
+
+/** Y = A * X; A is rows x cols, X is cols x K, Y is rows x K. */
+std::vector<float> spmm(const Csr &a, const std::vector<float> &x,
+                        std::uint32_t k);
+
+/** y = A * x; the K=1 special case. */
+std::vector<float> spmv(const Csr &a, const std::vector<float> &x);
+
+/**
+ * SDDMM: out[i] = a.val[i] * dot(U[row(i)], V[col(i)]).
+ * U is rows x K, V is cols x K; returns one value per stored nonzero.
+ */
+std::vector<float> sddmm(const Csr &a, const std::vector<float> &u,
+                         const std::vector<float> &v, std::uint32_t k);
+
+/**
+ * Operation and traffic counts for a kernel on one CSR block; feeds the
+ * roofline compute models.
+ */
+struct KernelCost
+{
+    /** Floating-point multiply-adds. */
+    std::uint64_t flops = 0;
+    /** Bytes of memory traffic (matrix + dense operands, streamed). */
+    std::uint64_t bytes = 0;
+};
+
+/** Cost of SpMM over @p nnz nonzeros and @p rows rows with width @p k. */
+KernelCost spmmCost(std::uint64_t nnz, std::uint64_t rows, std::uint32_t k);
+
+/** Cost of SDDMM over @p nnz nonzeros with width @p k. */
+KernelCost sddmmCost(std::uint64_t nnz, std::uint32_t k);
+
+} // namespace netsparse
+
+#endif // NETSPARSE_SPARSE_KERNELS_HH

@@ -1,0 +1,71 @@
+#include "sparse/partition.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace netsparse {
+
+Partition1D::Partition1D(std::vector<std::uint32_t> b)
+    : boundaries_(std::move(b))
+{
+    ns_assert(boundaries_.size() >= 2, "partition needs at least one part");
+    // Detect a uniform stride so ownerOf can avoid the binary search.
+    std::uint32_t stride = boundaries_[1] - boundaries_[0];
+    bool uniform = stride > 0;
+    for (std::size_t i = 1; uniform && i + 1 < boundaries_.size(); ++i) {
+        // The last part may be smaller; all earlier parts must match.
+        std::uint32_t s = boundaries_[i + 1] - boundaries_[i];
+        if (i + 2 < boundaries_.size() ? s != stride : s > stride)
+            uniform = false;
+    }
+    stride_ = uniform ? stride : 0;
+}
+
+Partition1D
+Partition1D::equalRows(std::uint32_t count, std::uint32_t parts)
+{
+    ns_assert(parts > 0 && count >= parts,
+              "cannot split ", count, " rows into ", parts, " parts");
+    std::uint32_t per = (count + parts - 1) / parts;
+    std::vector<std::uint32_t> b;
+    b.reserve(parts + 1);
+    for (std::uint32_t p = 0; p <= parts; ++p)
+        b.push_back(std::min(per * p, count));
+    return Partition1D(std::move(b));
+}
+
+Partition1D
+Partition1D::equalNnz(const Csr &m, std::uint32_t parts)
+{
+    ns_assert(parts > 0 && m.rows >= parts,
+              "cannot split ", m.rows, " rows into ", parts, " parts");
+    std::vector<std::uint32_t> b(parts + 1, 0);
+    double target = static_cast<double>(m.nnz()) / parts;
+    std::uint32_t row = 0;
+    for (std::uint32_t p = 1; p < parts; ++p) {
+        auto goal = static_cast<std::uint64_t>(target * p + 0.5);
+        // Advance until the prefix nnz reaches the goal, but leave enough
+        // rows for the remaining parts.
+        std::uint32_t max_row = m.rows - (parts - p);
+        while (row < max_row && m.rowPtr[row + 1] < goal)
+            ++row;
+        if (row < b[p - 1] + 1)
+            row = b[p - 1] + 1;
+        b[p] = row;
+    }
+    b[parts] = m.rows;
+    return Partition1D(std::move(b));
+}
+
+NodeId
+Partition1D::ownerOf(std::uint32_t idx) const
+{
+    ns_assert(idx < boundaries_.back(), "index ", idx, " out of partition");
+    if (stride_ > 0)
+        return idx / stride_;
+    auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), idx);
+    return static_cast<NodeId>(it - boundaries_.begin()) - 1;
+}
+
+} // namespace netsparse

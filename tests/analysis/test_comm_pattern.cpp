@@ -1,0 +1,156 @@
+/** @file Tests for the communication-pattern analytics (Section 3). */
+
+#include <gtest/gtest.h>
+
+#include "analysis/comm_pattern.hh"
+
+using namespace netsparse;
+
+namespace {
+
+/**
+ * The paper's Figure 1: an 8x8 matrix over 4 nodes (2 rows each).
+ * Nonzeros: a(0,4) b(1,1) c(2,6) d(4,3) e(5,3) f(6,7) g(7,6).
+ * Remote reads: a needs P4 from N2, c needs P6 from N3, d and e both
+ * need P3 from N1; b, f, g are local.
+ */
+Csr
+figure1()
+{
+    Coo m;
+    m.rows = m.cols = 8;
+    m.push(0, 4);
+    m.push(1, 1);
+    m.push(2, 6);
+    m.push(4, 3);
+    m.push(5, 3);
+    m.push(6, 7);
+    m.push(7, 6);
+    return Csr::fromCoo(m);
+}
+
+} // namespace
+
+TEST(CommPattern, Figure1ExactCounts)
+{
+    Csr m = figure1();
+    Partition1D part = Partition1D::equalRows(8, 4);
+    CommPattern cp = analyzeCommPattern(m, part);
+
+    EXPECT_EQ(cp.totalRemoteNnz, 4u); // a, c, d, e
+    EXPECT_EQ(cp.totalUseful, 3u);    // P4, P6, P3
+    EXPECT_EQ(cp.totalSuReceived, 4u * 6u);
+
+    EXPECT_EQ(cp.nodes[0].uniqueRemote, 1u);
+    EXPECT_EQ(cp.nodes[1].uniqueRemote, 1u);
+    EXPECT_EQ(cp.nodes[2].uniqueRemote, 1u);
+    EXPECT_EQ(cp.nodes[3].uniqueRemote, 0u);
+    EXPECT_EQ(cp.nodes[2].remoteNnz, 2u); // d and e share idx 3
+
+    // Redundancy ratios as defined in Table 1.
+    EXPECT_NEAR(cp.saRedundancyRatio(), 1.0 / 3.0, 1e-9);
+    EXPECT_NEAR(cp.suRedundancyRatio(), (24.0 - 3.0) / 3.0, 1e-9);
+}
+
+TEST(CommPattern, OffRackSplit)
+{
+    Csr m = figure1();
+    Partition1D part = Partition1D::equalRows(8, 4);
+    // Racks of 2 nodes: {N0,N1}, {N2,N3}.
+    CommPattern cp = analyzeCommPattern(m, part, 2);
+    EXPECT_EQ(cp.nodes[0].uniqueRemoteOffRack, 1u); // P4 home N2
+    EXPECT_EQ(cp.nodes[1].uniqueRemoteOffRack, 1u); // P6 home N3
+    EXPECT_EQ(cp.nodes[2].uniqueRemoteOffRack, 1u); // P3 home N1
+    EXPECT_EQ(cp.nodes[3].uniqueRemoteOffRack, 0u);
+}
+
+TEST(CommPattern, DestinationLocalityWindows)
+{
+    Csr m = figure1();
+    Partition1D part = Partition1D::equalRows(8, 4);
+    // N2's remote PR stream is [3, 3]: one window of 2, 1 unique dest.
+    // Other nodes have single remote PRs (no full window of 2).
+    EXPECT_DOUBLE_EQ(avgUniqueDestinations(m, part, 2), 1.0);
+    // Window of 1: every PR is its own window with 1 destination.
+    EXPECT_DOUBLE_EQ(avgUniqueDestinations(m, part, 1), 1.0);
+}
+
+TEST(CommPattern, DestinationLocalityCountsDistinctDests)
+{
+    // One node, 4 remote PRs alternating between two destinations.
+    Coo c;
+    c.rows = c.cols = 12;
+    c.push(0, 4);
+    c.push(0, 8);
+    c.push(1, 5);
+    c.push(1, 9);
+    Csr m = Csr::fromCoo(c);
+    Partition1D part = Partition1D::equalRows(12, 3);
+    EXPECT_DOUBLE_EQ(avgUniqueDestinations(m, part, 4), 2.0);
+    EXPECT_DOUBLE_EQ(avgUniqueDestinations(m, part, 2), 2.0);
+}
+
+TEST(CommPattern, RackSharingDetectsSharedProperties)
+{
+    // 4 nodes, racks of 2. Nodes 0 and 1 (rack 0) both read idx 6
+    // (home: node 3, rack 1) -> that property is fully shared.
+    Coo c;
+    c.rows = c.cols = 8;
+    c.push(0, 6);
+    c.push(2, 6);
+    Csr m = Csr::fromCoo(c);
+    Partition1D part = Partition1D::equalRows(8, 4);
+    EXPECT_DOUBLE_EQ(rackSharingFraction(m, part, 2), 1.0);
+
+    // Adding an unshared off-rack property: the shared one contributes
+    // 2 (node, property) pairs, the lone one 1 pair.
+    Coo c2 = c;
+    c2.push(1, 7);
+    Csr m2 = Csr::fromCoo(c2);
+    EXPECT_NEAR(rackSharingFraction(m2, part, 2), 2.0 / 3.0, 1e-9);
+}
+
+TEST(CommPattern, RackSharingIgnoresIntraRackHomes)
+{
+    // Node 0 reads idx 2 homed at node 1 = same rack; no off-rack PRs.
+    Coo c;
+    c.rows = c.cols = 8;
+    c.push(0, 2);
+    Csr m = Csr::fromCoo(c);
+    Partition1D part = Partition1D::equalRows(8, 4);
+    EXPECT_DOUBLE_EQ(rackSharingFraction(m, part, 2), 0.0);
+}
+
+TEST(CommPattern, HeaderShareMatchesTable3)
+{
+    // Table 3 assumes a 160 B total header stack. Values: K=1 -> 97.6%,
+    // K=32 -> 55.6%, K=256 -> 13.5%.
+    EXPECT_NEAR(headerShare(1, 160), 0.976, 0.001);
+    EXPECT_NEAR(headerShare(2, 160), 0.952, 0.001);
+    EXPECT_NEAR(headerShare(4, 160), 0.909, 0.001);
+    EXPECT_NEAR(headerShare(8, 160), 0.833, 0.001);
+    EXPECT_NEAR(headerShare(16, 160), 0.714, 0.001);
+    EXPECT_NEAR(headerShare(32, 160), 0.556, 0.001);
+    EXPECT_NEAR(headerShare(64, 160), 0.385, 0.001);
+    EXPECT_NEAR(headerShare(128, 160), 0.238, 0.001);
+    EXPECT_NEAR(headerShare(256, 160), 0.135, 0.001);
+}
+
+TEST(CommPattern, ActiveNodeProfileIsMonotoneDecreasing)
+{
+    std::vector<std::uint64_t> volumes{10, 5, 5, 1, 0};
+    auto prof = activeNodeProfile(volumes, 10);
+    ASSERT_EQ(prof.size(), 10u);
+    EXPECT_EQ(prof[0], 4u); // the zero-volume node is never active
+    for (std::size_t i = 1; i < prof.size(); ++i)
+        EXPECT_LE(prof[i], prof[i - 1]);
+    // After half the time only the largest node remains.
+    EXPECT_EQ(prof[6], 1u);
+}
+
+TEST(CommPattern, ActiveNodeProfileAllZero)
+{
+    auto prof = activeNodeProfile({0, 0}, 4);
+    for (auto v : prof)
+        EXPECT_EQ(v, 0u);
+}

@@ -1,0 +1,183 @@
+/** @file Tests for the SUOpt / SAOpt software baseline models. */
+
+#include <gtest/gtest.h>
+
+#include "baseline/baselines.hh"
+#include "sparse/generators.hh"
+
+using namespace netsparse;
+
+namespace {
+
+/** Figure 1 matrix (see test_comm_pattern.cpp). */
+Csr
+figure1()
+{
+    Coo m;
+    m.rows = m.cols = 8;
+    m.push(0, 4);
+    m.push(1, 1);
+    m.push(2, 6);
+    m.push(4, 3);
+    m.push(5, 3);
+    m.push(6, 7);
+    m.push(7, 6);
+    return Csr::fromCoo(m);
+}
+
+} // namespace
+
+TEST(SuOpt, HandComputedVolumeAndTime)
+{
+    Csr m = figure1();
+    Partition1D part = Partition1D::equalRows(8, 4);
+    BaselineParams p;
+    BaselineResult r = runSuOpt(m, part, 1, p);
+
+    // Every node receives all 6 non-local properties of 4 B each.
+    for (NodeId n = 0; n < 4; ++n)
+        EXPECT_EQ(r.perNodeRxBytes[n], 24u);
+    EXPECT_EQ(r.totalWireBytes, 96u);
+    EXPECT_EQ(r.totalPayloadBytes, 96u);
+    // 24 B at 0.05 B/ps = 480 ps.
+    EXPECT_EQ(r.commTicks, 480u);
+    // SUOpt pays no headers: goodput == line utilization == 1 while
+    // receiving (the model assumes perfect overlap).
+    EXPECT_NEAR(r.tailGoodput, 1.0, 1e-9);
+}
+
+TEST(SuOpt, ScalesWithPropertyWidth)
+{
+    Csr m = figure1();
+    Partition1D part = Partition1D::equalRows(8, 4);
+    BaselineParams p;
+    BaselineResult k1 = runSuOpt(m, part, 1, p);
+    BaselineResult k16 = runSuOpt(m, part, 16, p);
+    EXPECT_EQ(k16.totalWireBytes, 16u * k1.totalWireBytes);
+    EXPECT_GE(k16.commTicks, 15 * k1.commTicks);
+}
+
+TEST(SaOpt, CountsRankFilteredPrs)
+{
+    Csr m = figure1();
+    Partition1D part = Partition1D::equalRows(8, 4);
+    BaselineParams p;
+    p.ranksPerNode = 1; // one rank per node: node-perfect filtering
+    BaselineResult r = runSaOpt(m, part, 1, p);
+    // Unique remote properties: N0 1, N1 1, N2 1 (d/e pre-filtered).
+    EXPECT_EQ(r.perNodePrs[0], 1u);
+    EXPECT_EQ(r.perNodePrs[1], 1u);
+    EXPECT_EQ(r.perNodePrs[2], 1u);
+    EXPECT_EQ(r.perNodePrs[3], 0u);
+}
+
+TEST(SaOpt, MoreRanksMeansLessCrossRankFiltering)
+{
+    // With 2 ranks per node, d (row 4) and e (row 5) land in different
+    // ranks of N2 and can no longer be deduplicated - exactly the
+    // Conveyors limitation Table 7 calls out.
+    Csr m = figure1();
+    Partition1D part = Partition1D::equalRows(8, 4);
+    BaselineParams p;
+    p.ranksPerNode = 2;
+    BaselineResult r = runSaOpt(m, part, 1, p);
+    EXPECT_EQ(r.perNodePrs[2], 2u);
+}
+
+TEST(SaOpt, SoftwareTimeDominatesSmallTransfers)
+{
+    Csr m = figure1();
+    Partition1D part = Partition1D::equalRows(8, 4);
+    BaselineParams p;
+    p.ranksPerNode = 1;
+    BaselineResult r = runSaOpt(m, part, 1, p);
+    // N2 issues 1 and serves 1 -> 2 PRs of software handling.
+    Tick expected_sw = 2 * p.softwareOverheadPerPr / p.coresPerNode;
+    EXPECT_EQ(r.perNodeTicks[2], expected_sw);
+}
+
+TEST(SaOpt, MoreCoresNeverSlower)
+{
+    Csr m = makeBenchmarkMatrix(MatrixKind::Uk, 0.05);
+    Partition1D part = Partition1D::equalRows(m.rows, 16);
+    BaselineParams p;
+    Tick prev = maxTick;
+    for (std::uint32_t cores : {1u, 4u, 16u, 64u}) {
+        p.coresPerNode = cores;
+        BaselineResult r = runSaOpt(m, part, 16, p);
+        EXPECT_LE(r.commTicks, prev);
+        prev = r.commTicks;
+    }
+}
+
+TEST(SaOpt, BeatsSuOptWhenRankFilteringIsEffective)
+{
+    // Sparsity-awareness wins when each rank sees enough reuse to
+    // pre-filter most PRs and the properties are wide (the paper notes
+    // SAOpt can fall below SUOpt at small K - Figure 12, stokes and
+    // arabic K=1). Few ranks per node concentrate the reuse.
+    Csr m = makeBenchmarkMatrix(MatrixKind::Arabic, 0.5);
+    Partition1D part = Partition1D::equalRows(m.rows, 16);
+    BaselineParams p;
+    p.ranksPerNode = 8;
+    BaselineResult su = runSuOpt(m, part, 128, p);
+    BaselineResult sa = runSaOpt(m, part, 128, p);
+    EXPECT_LT(sa.commTicks, su.commTicks);
+}
+
+TEST(SaOpt, KDependenceMatchesFigure12)
+{
+    // SAOpt's edge over SUOpt grows with the property width: SUOpt's
+    // redundant bytes scale with K while SAOpt's software cost does not.
+    Csr m = makeBenchmarkMatrix(MatrixKind::Arabic, 0.2);
+    Partition1D part = Partition1D::equalRows(m.rows, 16);
+    BaselineParams p;
+    double prev = 0.0;
+    for (std::uint32_t k : {1u, 16u, 128u}) {
+        BaselineResult su = runSuOpt(m, part, k, p);
+        BaselineResult sa = runSaOpt(m, part, k, p);
+        double rel = static_cast<double>(su.commTicks) / sa.commTicks;
+        EXPECT_GT(rel, prev);
+        prev = rel;
+    }
+}
+
+TEST(SaOpt, GoodputModelMatchesFigure10Shape)
+{
+    BaselineParams p;
+    // Linear in the core count until the line saturates.
+    double g1 = saOptIdealGoodput(1, 32, p);
+    double g2 = saOptIdealGoodput(2, 32, p);
+    double g64 = saOptIdealGoodput(64, 32, p);
+    EXPECT_NEAR(g2, 2 * g1, 1e-9);
+    EXPECT_LT(g64, 1.0); // far from the optimal 100% (paper's point)
+    EXPECT_GT(g64, 10 * g1);
+    // Wider properties raise goodput for the same PR rate.
+    EXPECT_GT(saOptIdealGoodput(64, 128, p),
+              saOptIdealGoodput(64, 16, p));
+    // Never exceeds the line.
+    EXPECT_LE(saOptIdealGoodput(10000, 256, p), 1.0);
+}
+
+TEST(NaiveSa, Table2ShapeForWebCrawls)
+{
+    Csr m = makeBenchmarkMatrix(MatrixKind::Arabic, 0.1);
+    NaiveSaParams p;
+    NaiveSaResult r = runNaiveSa2Node(m, 32, p);
+    // Paper Table 2: rates well below 1 Gbps, utilization < 1%.
+    EXPECT_GT(r.transferRateGbps, 0.05);
+    EXPECT_LT(r.transferRateGbps, 5.0);
+    EXPECT_LT(r.lineUtilization, 0.05);
+    EXPECT_LT(r.goodput, r.lineUtilization);
+}
+
+TEST(NaiveSa, SparserMatrixMovesLessData)
+{
+    NaiveSaParams p;
+    NaiveSaResult web =
+        runNaiveSa2Node(makeBenchmarkMatrix(MatrixKind::Uk, 0.1), 32, p);
+    NaiveSaResult road = runNaiveSa2Node(
+        makeBenchmarkMatrix(MatrixKind::Europe, 0.1), 32, p);
+    // europe's scan-dominated runs achieve lower transfer rates.
+    EXPECT_LT(road.transferRateGbps, web.transferRateGbps);
+}

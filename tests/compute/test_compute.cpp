@@ -1,0 +1,100 @@
+/** @file Tests for the roofline compute models. */
+
+#include <gtest/gtest.h>
+
+#include "compute/models.hh"
+#include "sparse/generators.hh"
+
+using namespace netsparse;
+
+TEST(Compute, RooflineTakesTheBindingTerm)
+{
+    ComputeDevice d{"test", 1e9, 1e9, 1.0};
+    // Compute-bound: many flops, few bytes.
+    KernelCost heavy{1000000, 10};
+    EXPECT_EQ(d.time(heavy), ticks::fromSeconds(1e6 / 1e9));
+    // Memory-bound: few flops, many bytes.
+    KernelCost wide{10, 1000000};
+    EXPECT_EQ(d.time(wide), ticks::fromSeconds(1e6 / 1e9));
+}
+
+TEST(Compute, EfficiencyInflatesTime)
+{
+    ComputeDevice perfect{"p", 1e9, 1e9, 1.0};
+    ComputeDevice real{"r", 1e9, 1e9, 0.5};
+    KernelCost c{1000, 1000};
+    EXPECT_EQ(real.time(c), 2 * perfect.time(c));
+}
+
+TEST(Compute, DeviceCatalog)
+{
+    EXPECT_EQ(spadeAccelerator().name, "spade");
+    EXPECT_DOUBLE_EQ(spadeAccelerator().memBytesPerSec, 800e9);
+    EXPECT_DOUBLE_EQ(cpuDdr().memBytesPerSec, 270e9);
+    EXPECT_DOUBLE_EQ(cpuHbm().memBytesPerSec, 800e9);
+}
+
+TEST(Compute, SpmmTimeMonotoneInWorkload)
+{
+    auto dev = spadeAccelerator();
+    EXPECT_LT(spmmTime(dev, 1000, 100, 16), spmmTime(dev, 2000, 100, 16));
+    EXPECT_LT(spmmTime(dev, 1000, 100, 16), spmmTime(dev, 1000, 100, 64));
+}
+
+TEST(Compute, HbmBeatsDdrOnBandwidthBoundSpmm)
+{
+    // SpMM at K=128 is bandwidth-bound; HBM should win clearly.
+    Tick ddr = spmmTime(cpuDdr(), 1 << 20, 1 << 16, 128);
+    Tick hbm = spmmTime(cpuHbm(), 1 << 20, 1 << 16, 128);
+    EXPECT_LT(hbm, ddr);
+    EXPECT_NEAR(static_cast<double>(ddr) / hbm, 800.0 / 270.0, 0.2);
+}
+
+TEST(Compute, SpadeOutrunsCpusOnSpmm)
+{
+    Tick spade = spmmTime(spadeAccelerator(), 1 << 20, 1 << 16, 16);
+    Tick cpu = spmmTime(cpuDdr(), 1 << 20, 1 << 16, 16);
+    EXPECT_LT(spade, cpu);
+}
+
+TEST(Compute, UnconfiguredDevicePanics)
+{
+    ComputeDevice d;
+    EXPECT_THROW(d.time({100, 100}), std::logic_error);
+}
+
+TEST(Compute, PeLevelTimeIsAtLeastTheFlatRoofline)
+{
+    Csr m = makeBenchmarkMatrix(MatrixKind::Arabic, 0.02);
+    auto dev = spadeAccelerator();
+    Tick flat = spmmTime(dev, m.nnz(), m.rows, 16);
+    Tick pe = spmmTimePeLevel(dev, m, 0, m.rows, 16);
+    // Imbalance across PEs can only slow the block down.
+    EXPECT_GE(pe, flat);
+    // But not catastrophically for a whole matrix of rows.
+    EXPECT_LT(pe, 10 * flat);
+}
+
+TEST(Compute, PeLevelBalancedMatrixMatchesRoofline)
+{
+    // A perfectly regular band matrix deals identical rows to every
+    // PE, so the PE-level time collapses to the flat roofline.
+    BandedFemParams p;
+    p.rows = 1 << 13;
+    p.band = 32;
+    p.deg = 16;
+    Csr m = Csr::fromCoo(makeBandedFem(p));
+    auto dev = spadeAccelerator();
+    Tick flat = spmmTime(dev, m.nnz(), m.rows, 16);
+    Tick pe = spmmTimePeLevel(dev, m, 0, m.rows, 16);
+    EXPECT_NEAR(static_cast<double>(pe), static_cast<double>(flat),
+                0.05 * flat);
+}
+
+TEST(Compute, PeLevelSinglePeEqualsWholeDevice)
+{
+    Csr m = makeBenchmarkMatrix(MatrixKind::Queen, 0.02);
+    auto dev = spadeAccelerator();
+    EXPECT_EQ(spmmTimePeLevel(dev, m, 0, m.rows, 8, 1),
+              spmmTime(dev, m.nnz(), m.rows, 8));
+}

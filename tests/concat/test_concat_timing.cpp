@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Timing-focused tests for the concatenation hardware: expiration
+ * ordering, wait-time accounting, and occupancy bookkeeping under
+ * interleaved traffic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "concat/concatenator.hh"
+
+using namespace netsparse;
+
+namespace {
+
+PropertyRequest
+readPr(PropIdx idx)
+{
+    PropertyRequest pr;
+    pr.type = PrType::Read;
+    pr.idx = idx;
+    pr.propBytes = 64;
+    return pr;
+}
+
+} // namespace
+
+TEST(ConcatTiming, ExpirationsFireInArrivalOrder)
+{
+    // CQs activated later expire later (the EQ head-check argument of
+    // Section 6.1.2 relies on constant delay => FIFO expiry).
+    EventQueue eq;
+    ConcatConfig cfg;
+    cfg.delay = 1000;
+    std::vector<NodeId> order;
+    Concatenator cc(eq, cfg, [&](Packet &&p) { order.push_back(p.dest); });
+
+    cc.push(readPr(1), 7);
+    eq.schedule(100, [&] { cc.push(readPr(2), 8); });
+    eq.schedule(200, [&] { cc.push(readPr(3), 9); });
+    eq.run();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 7u);
+    EXPECT_EQ(order[1], 8u);
+    EXPECT_EQ(order[2], 9u);
+    EXPECT_EQ(eq.now(), 1200u);
+}
+
+TEST(ConcatTiming, WaitTimesAreMeasuredPerPr)
+{
+    EventQueue eq;
+    ConcatConfig cfg;
+    cfg.delay = 1000;
+    Concatenator cc(eq, cfg, [](Packet &&) {});
+    cc.push(readPr(1), 0);                            // waits 1000
+    eq.schedule(600, [&] { cc.push(readPr(2), 0); }); // waits 400
+    eq.run();
+    EXPECT_EQ(cc.prWaitTicks().count(), 2u);
+    EXPECT_DOUBLE_EQ(cc.prWaitTicks().max(), 1000.0);
+    EXPECT_DOUBLE_EQ(cc.prWaitTicks().min(), 400.0);
+    EXPECT_DOUBLE_EQ(cc.prWaitTicks().mean(), 700.0);
+}
+
+TEST(ConcatTiming, OccupancyReturnsToZero)
+{
+    EventQueue eq;
+    ConcatConfig cfg;
+    cfg.delay = 500;
+    Concatenator cc(eq, cfg, [](Packet &&) {});
+    for (int d = 0; d < 10; ++d)
+        for (int i = 0; i < 5; ++i)
+            cc.push(readPr(i), d);
+    EXPECT_EQ(cc.pendingPrs(), 50u);
+    EXPECT_EQ(cc.occupiedBytes(), 50u * 18u);
+    EXPECT_GT(cc.maxOccupiedBytes(), 0u);
+    eq.run();
+    EXPECT_EQ(cc.pendingPrs(), 0u);
+    EXPECT_EQ(cc.occupiedBytes(), 0u);
+    EXPECT_EQ(cc.packetsEmitted(), 10u);
+}
+
+TEST(ConcatTiming, RefillAfterExpiryStartsANewWindow)
+{
+    EventQueue eq;
+    ConcatConfig cfg;
+    cfg.delay = 300;
+    int packets = 0;
+    Concatenator cc(eq, cfg, [&](Packet &&) { ++packets; });
+    cc.push(readPr(1), 0);
+    eq.runUntil(1000); // first window expired at t=300 (= now)
+    EXPECT_EQ(packets, 1);
+    EXPECT_EQ(eq.now(), 300u);
+    cc.push(readPr(2), 0); // arrives at t=300
+    eq.run();
+    EXPECT_EQ(packets, 2);
+    EXPECT_EQ(eq.now(), 600u); // second window = arrival + delay
+}
+
+TEST(ConcatTiming, FillFlushDoesNotDoubleFireOnExpiry)
+{
+    // A CQ that fills before its ET clears the EQ entry; the stale
+    // timer must not emit an empty packet.
+    EventQueue eq;
+    ConcatConfig cfg;
+    cfg.delay = 10000;
+    int packets = 0;
+    Concatenator cc(eq, cfg, [&](Packet &&p) {
+        ++packets;
+        EXPECT_FALSE(p.prs.empty());
+    });
+    for (int i = 0; i < 79; ++i) // fills and flushes immediately
+        cc.push(readPr(i), 3);
+    EXPECT_EQ(packets, 1);
+    eq.run(); // the stale timer fires and must do nothing
+    EXPECT_EQ(packets, 1);
+    EXPECT_EQ(cc.flushesByExpiry(), 0u);
+}
+
+TEST(ConcatTiming, PerDestinationWindowsAreIndependent)
+{
+    EventQueue eq;
+    ConcatConfig cfg;
+    cfg.delay = 1000;
+    std::vector<std::pair<NodeId, Tick>> emissions;
+    Concatenator cc(eq, cfg, [&](Packet &&p) {
+        emissions.push_back({p.dest, eq.now()});
+    });
+    cc.push(readPr(1), 0);
+    eq.schedule(900, [&] { cc.push(readPr(2), 1); });
+    eq.run();
+    ASSERT_EQ(emissions.size(), 2u);
+    EXPECT_EQ(emissions[0].second, 1000u);
+    EXPECT_EQ(emissions[1].second, 1900u);
+}

@@ -1,0 +1,190 @@
+/** @file Tests for the verbs-style host API and the host driver. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "host/host_node.hh"
+#include "host/verbs.hh"
+#include "net/switch.hh"
+#include "sim/event_queue.hh"
+#include "snic/snic.hh"
+
+using namespace netsparse;
+
+namespace {
+
+/** Two SNICs joined by one plain switch; properties: odd idx -> node 1. */
+struct TwoNodeWorld
+{
+    EventQueue eq;
+    ProtocolParams proto;
+    SnicConfig scfg;
+    std::unique_ptr<Snic> snic0, snic1;
+    std::unique_ptr<Switch> sw;
+    std::unique_ptr<Link> down0, down1, up0, up1;
+
+    explicit TwoNodeWorld(std::uint32_t num_units = 4)
+    {
+        scfg.numRigUnits = num_units;
+        scfg.proto = proto;
+        scfg.concat.proto = proto;
+        scfg.concat.delay = 100 * ticks::ns;
+        auto owner = [](PropIdx idx) {
+            return static_cast<NodeId>(idx % 2);
+        };
+        snic0 = std::make_unique<Snic>(eq, scfg, 0, owner, 1 << 16,
+                                       "snic0");
+        snic1 = std::make_unique<Snic>(eq, scfg, 1, owner, 1 << 16,
+                                       "snic1");
+        SwitchConfig swcfg;
+        swcfg.proto = proto;
+        sw = std::make_unique<Switch>(eq, swcfg, 0, "sw");
+        down0 = std::make_unique<Link>(eq, LinkConfig{}, proto,
+                                       snic0.get(), 0, "d0");
+        down1 = std::make_unique<Link>(eq, LinkConfig{}, proto,
+                                       snic1.get(), 0, "d1");
+        up0 = std::make_unique<Link>(eq, LinkConfig{}, proto, sw.get(), 0,
+                                     "u0");
+        up1 = std::make_unique<Link>(eq, LinkConfig{}, proto, sw.get(), 1,
+                                     "u1");
+        sw->attachPort(0, down0.get(), true);
+        sw->attachPort(1, down1.get(), true);
+        sw->setRouteFn([](NodeId dest) -> std::uint32_t { return dest; });
+        snic0->attachEgress(up0.get());
+        snic1->attachEgress(up1.get());
+    }
+};
+
+} // namespace
+
+TEST(Verbs, RigWorkRequestCompletesSuccessfully)
+{
+    TwoNodeWorld w;
+    std::vector<std::uint32_t> idxs{1, 3, 5, 3, 7};
+    RigQueuePair qp(w.eq, *w.snic0);
+    IbvSendWr wr;
+    wr.wrId = 77;
+    wr.opcode = IbvWrOpcode::Rig;
+    wr.rig.idxList = idxs.data();
+    wr.rig.numIdxs = idxs.size();
+    wr.rig.propBytes = 64;
+    ASSERT_TRUE(qp.postSend(wr));
+    EXPECT_EQ(qp.outstanding(), 1u);
+
+    w.eq.run();
+    IbvWc wc;
+    ASSERT_TRUE(qp.pollCq(wc));
+    EXPECT_EQ(wc.wrId, 77u);
+    EXPECT_EQ(wc.status, IbvWc::Status::Success);
+    EXPECT_EQ(qp.outstanding(), 0u);
+    EXPECT_FALSE(qp.pollCq(wc));
+
+    // 4 unique odd idxs issued; the repeated 3 coalesced.
+    RigClientStats st = w.snic0->aggregateClientStats();
+    EXPECT_EQ(st.prsIssued, 4u);
+    EXPECT_EQ(st.coalesced, 1u);
+    EXPECT_EQ(st.responses, 4u);
+}
+
+TEST(Verbs, RdmaReadOpcodeIsAOneIdxRig)
+{
+    TwoNodeWorld w;
+    std::vector<std::uint32_t> idx{9};
+    RigQueuePair qp(w.eq, *w.snic0);
+    IbvSendWr wr;
+    wr.wrId = 1;
+    wr.opcode = IbvWrOpcode::RdmaRead;
+    wr.rig.idxList = idx.data();
+    wr.rig.numIdxs = 1;
+    wr.rig.propBytes = 4;
+    ASSERT_TRUE(qp.postSend(wr));
+    w.eq.run();
+    IbvWc wc;
+    ASSERT_TRUE(qp.pollCq(wc));
+    EXPECT_EQ(wc.status, IbvWc::Status::Success);
+}
+
+TEST(Verbs, PostSendFailsWhenAllUnitsBusy)
+{
+    TwoNodeWorld w(4); // 2 client units
+    std::vector<std::uint32_t> idxs(100, 1);
+    RigQueuePair qp(w.eq, *w.snic0);
+    IbvSendWr wr;
+    wr.rig.idxList = idxs.data();
+    wr.rig.numIdxs = idxs.size();
+    wr.rig.propBytes = 64;
+    EXPECT_TRUE(qp.postSend(wr));
+    EXPECT_TRUE(qp.postSend(wr));
+    EXPECT_FALSE(qp.postSend(wr)); // both client units occupied
+    w.eq.run();
+    // After completion, posting works again.
+    EXPECT_TRUE(qp.postSend(wr));
+    w.eq.run();
+    EXPECT_EQ(qp.cqDepth(), 3u);
+}
+
+TEST(Verbs, CompletionHandlerFires)
+{
+    TwoNodeWorld w;
+    std::vector<std::uint32_t> idxs{1};
+    RigQueuePair qp(w.eq, *w.snic0);
+    int notifications = 0;
+    qp.setCompletionHandler([&] { ++notifications; });
+    IbvSendWr wr;
+    wr.rig.idxList = idxs.data();
+    wr.rig.numIdxs = 1;
+    wr.rig.propBytes = 64;
+    ASSERT_TRUE(qp.postSend(wr));
+    w.eq.run();
+    EXPECT_EQ(notifications, 1);
+}
+
+TEST(HostNode, DrivesWholeStreamAcrossBatches)
+{
+    TwoNodeWorld w;
+    HostConfig hcfg;
+    hcfg.batchSize = 16;
+    std::vector<std::uint32_t> stream;
+    for (int i = 0; i < 100; ++i)
+        stream.push_back(1 + 2 * (i % 13)); // odd -> remote
+    HostNode host(w.eq, hcfg, *w.snic0, std::move(stream), 64);
+    bool done = false;
+    host.start([&] { done = true; });
+    w.eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_TRUE(host.done());
+    EXPECT_EQ(host.failures(), 0u);
+    EXPECT_EQ(host.commandsIssued(), 7u); // ceil(100 / 16)
+    RigClientStats st = w.snic0->aggregateClientStats();
+    EXPECT_EQ(st.idxsProcessed, 100u);
+    // All 13 unique idxs fetched, everything else filtered/coalesced.
+    EXPECT_EQ(st.responses, st.prsIssued);
+    EXPECT_GE(st.prsIssued, 13u);
+    EXPECT_EQ(st.prsIssued + st.filtered + st.coalesced, 100u);
+}
+
+TEST(HostNode, EmptyStreamFinishesInstantly)
+{
+    TwoNodeWorld w;
+    HostNode host(w.eq, {}, *w.snic0, {}, 64);
+    bool done = false;
+    host.start([&] { done = true; });
+    EXPECT_TRUE(done);
+    EXPECT_EQ(host.finishTick(), 0u);
+}
+
+TEST(HostNode, AutoBatchSizingKeepsUnitsBusy)
+{
+    TwoNodeWorld w(8); // 4 client units
+    HostConfig hcfg;   // batchSize = 0 -> auto
+    std::vector<std::uint32_t> stream(100000, 1);
+    HostNode host(w.eq, hcfg, *w.snic0, std::move(stream), 64);
+    bool done = false;
+    host.start([&] { done = true; });
+    w.eq.run();
+    EXPECT_TRUE(done);
+    // Auto sizing targets ~2 batches per client unit.
+    EXPECT_GE(host.commandsIssued(), 4u);
+}

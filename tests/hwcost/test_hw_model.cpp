@@ -1,0 +1,124 @@
+/** @file Tests for the hardware area/power model (Section 9.5). */
+
+#include <gtest/gtest.h>
+
+#include "hwcost/hw_model.hh"
+
+using namespace netsparse;
+
+TEST(HwModel, SnicTotalsNearPaperValues)
+{
+    // Paper: ~1.43 mm^2, ~2.1 W at maximum activity, ~3.5 MB of SRAM.
+    HwReport r = snicOverheads();
+    EXPECT_GT(r.totalAreaMm2(), 0.9);
+    EXPECT_LT(r.totalAreaMm2(), 2.5);
+    double watts = r.totalStaticW() + r.totalDynamicW();
+    EXPECT_GT(watts, 1.0);
+    EXPECT_LT(watts, 4.0);
+    double mb = static_cast<double>(r.totalSramBytes()) / (1 << 20);
+    EXPECT_GT(mb, 3.0);
+    EXPECT_LT(mb, 4.0);
+}
+
+TEST(HwModel, L2sDominateSnicAreaRigUnitsDominateDynamicPower)
+{
+    // Figure 20's qualitative breakdown.
+    HwReport r = snicOverheads();
+    const HwComponentCost *l2 = nullptr, *rig = nullptr;
+    double max_area = 0, max_dyn = 0;
+    std::string max_area_name, max_dyn_name;
+    for (const auto &c : r.components) {
+        if (c.name == "l2-caches")
+            l2 = &c;
+        if (c.name == "rig-units")
+            rig = &c;
+        if (c.areaMm2 > max_area) {
+            max_area = c.areaMm2;
+            max_area_name = c.name;
+        }
+        if (c.dynamicPowerW > max_dyn) {
+            max_dyn = c.dynamicPowerW;
+            max_dyn_name = c.name;
+        }
+    }
+    ASSERT_TRUE(l2 && rig);
+    EXPECT_EQ(max_area_name, "l2-caches");
+    EXPECT_EQ(max_dyn_name, "rig-units");
+}
+
+TEST(HwModel, RigUnitBreakdownSumsToOneWithCamOnTop)
+{
+    // Table 9: the Pending PR Table CAM is the largest structure (53%).
+    auto breakdown = rigUnitAreaBreakdown();
+    double sum = 0;
+    double pend = 0, largest = 0;
+    for (const auto &[name, frac] : breakdown) {
+        sum += frac;
+        largest = std::max(largest, frac);
+        if (name == "pending-pr-table")
+            pend = frac;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(pend, largest);
+    EXPECT_GT(pend, 0.3);
+    EXPECT_LT(pend, 0.7);
+}
+
+TEST(HwModel, SwitchTotalsNearPaperValues)
+{
+    // Paper: caches 21.3 mm^2, concatenators 1.5 mm^2, ~10 W combined.
+    HwReport r = switchOverheads();
+    const HwComponentCost *caches = nullptr, *concat = nullptr;
+    for (const auto &c : r.components) {
+        if (c.name == "property-caches")
+            caches = &c;
+        if (c.name == "concat-deconcat")
+            concat = &c;
+    }
+    ASSERT_TRUE(caches && concat);
+    EXPECT_NEAR(caches->areaMm2, 21.3, 5.0);
+    EXPECT_NEAR(concat->areaMm2, 1.8, 1.5);
+    double watts = r.totalStaticW() + r.totalDynamicW();
+    EXPECT_GT(watts, 4.0);
+    EXPECT_LT(watts, 25.0);
+}
+
+TEST(HwModel, CrossbarScalesQuadraticallyWithRadix)
+{
+    SwitchHwParams small;
+    small.crossbarRadix = 16;
+    SwitchHwParams big;
+    big.crossbarRadix = 64;
+    double a_small = 0, a_big = 0;
+    for (const auto &c : switchOverheads(small).components)
+        if (c.name == "second-crossbar")
+            a_small = c.areaMm2;
+    for (const auto &c : switchOverheads(big).components)
+        if (c.name == "second-crossbar")
+            a_big = c.areaMm2;
+    EXPECT_NEAR(a_big / a_small, 16.0, 1e-6);
+}
+
+TEST(HwModel, TechScalingShrinksAreaAndPower)
+{
+    double a = TechScaling::areaFactor(45.0, 10.0);
+    double p = TechScaling::powerFactor(45.0, 10.0);
+    EXPECT_LT(a, 1.0);
+    EXPECT_LT(p, 1.0);
+    EXPECT_LT(a, p); // area shrinks faster than power
+    EXPECT_DOUBLE_EQ(TechScaling::areaFactor(10, 10), 1.0);
+    // Going up in feature size grows the design.
+    EXPECT_GT(TechScaling::areaFactor(10, 45), 1.0);
+}
+
+TEST(HwModel, MoreRigUnitsMoreAreaAndSram)
+{
+    SnicHwParams few;
+    few.numRigUnits = 8;
+    SnicHwParams many;
+    many.numRigUnits = 64;
+    HwReport a = snicOverheads(few);
+    HwReport b = snicOverheads(many);
+    EXPECT_LT(a.totalAreaMm2(), b.totalAreaMm2());
+    EXPECT_LT(a.totalSramBytes(), b.totalSramBytes());
+}

@@ -1,0 +1,54 @@
+/** @file Tests for the ablation feature toggles. */
+
+#include <gtest/gtest.h>
+
+#include "runtime/feature_set.hh"
+
+using namespace netsparse;
+
+TEST(FeatureSet, DefaultsToFullDesign)
+{
+    FeatureSet f;
+    EXPECT_TRUE(f.filter);
+    EXPECT_TRUE(f.coalesce);
+    EXPECT_TRUE(f.concatNic);
+    EXPECT_TRUE(f.concatSwitch);
+    EXPECT_TRUE(f.switchCache);
+}
+
+TEST(FeatureSet, RigOnlyDisablesEverything)
+{
+    FeatureSet f = FeatureSet::rigOnly();
+    EXPECT_FALSE(f.filter);
+    EXPECT_FALSE(f.coalesce);
+    EXPECT_FALSE(f.concatNic);
+    EXPECT_FALSE(f.concatSwitch);
+    EXPECT_FALSE(f.switchCache);
+}
+
+TEST(FeatureSet, StagesAreCumulative)
+{
+    EXPECT_FALSE(FeatureSet::ablationStage(0).filter);
+    EXPECT_TRUE(FeatureSet::ablationStage(1).filter);
+    EXPECT_FALSE(FeatureSet::ablationStage(1).coalesce);
+    EXPECT_TRUE(FeatureSet::ablationStage(2).coalesce);
+    EXPECT_FALSE(FeatureSet::ablationStage(2).concatNic);
+    EXPECT_TRUE(FeatureSet::ablationStage(3).concatNic);
+    EXPECT_FALSE(FeatureSet::ablationStage(3).concatSwitch);
+    EXPECT_TRUE(FeatureSet::ablationStage(4).concatSwitch);
+    EXPECT_TRUE(FeatureSet::ablationStage(4).switchCache);
+}
+
+TEST(FeatureSet, StageNamesMatchTable8)
+{
+    EXPECT_STREQ(FeatureSet::stageName(0), "RIG");
+    EXPECT_STREQ(FeatureSet::stageName(1), "Filter");
+    EXPECT_STREQ(FeatureSet::stageName(2), "Coalesce");
+    EXPECT_STREQ(FeatureSet::stageName(3), "ConcNIC");
+    EXPECT_STREQ(FeatureSet::stageName(4), "Switch");
+}
+
+TEST(FeatureSet, OutOfRangeStagePanics)
+{
+    EXPECT_THROW(FeatureSet::ablationStage(5), std::logic_error);
+}

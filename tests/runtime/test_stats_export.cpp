@@ -1,0 +1,78 @@
+/** @file Tests for the stats-registry export of gather results. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runtime/cluster.hh"
+#include "sparse/generators.hh"
+
+using namespace netsparse;
+
+namespace {
+
+GatherRunResult
+smallRun()
+{
+    Csr m = makeBenchmarkMatrix(MatrixKind::Queen, 0.02);
+    const std::uint32_t nodes = 8;
+    Partition1D part = Partition1D::equalRows(m.rows, nodes);
+    ClusterConfig cfg = defaultClusterConfig(nodes);
+    cfg.nodesPerRack = 4;
+    cfg.numSpines = 2;
+    return ClusterSim(cfg).runGather(m, part, 16);
+}
+
+} // namespace
+
+TEST(StatsExport, ClusterAggregatesMatchTheResult)
+{
+    GatherRunResult r = smallRun();
+    StatRegistry reg;
+    r.exportStats(reg);
+
+    EXPECT_DOUBLE_EQ(reg.get("cluster.commTicks"),
+                     static_cast<double>(r.commTicks));
+    EXPECT_DOUBLE_EQ(reg.get("cluster.cacheHitRate"), r.cacheHitRate());
+    EXPECT_DOUBLE_EQ(reg.get("cluster.tailGoodput"), r.tailGoodput);
+
+    double prs = 0;
+    for (const auto &n : r.nodes)
+        prs += static_cast<double>(n.prsIssued);
+    EXPECT_DOUBLE_EQ(reg.get("cluster.prsIssued"), prs);
+}
+
+TEST(StatsExport, PerNodeEntriesExistForEveryNode)
+{
+    GatherRunResult r = smallRun();
+    StatRegistry reg;
+    r.exportStats(reg);
+    for (std::size_t n = 0; n < r.nodes.size(); ++n) {
+        std::string prefix = "node" + std::to_string(n) + ".";
+        EXPECT_TRUE(reg.has(prefix + "finishTicks")) << prefix;
+        EXPECT_DOUBLE_EQ(reg.get(prefix + "prsIssued"),
+                         static_cast<double>(r.nodes[n].prsIssued));
+        EXPECT_DOUBLE_EQ(reg.get(prefix + "fcRate"),
+                         r.nodes[n].fcRate());
+    }
+}
+
+TEST(StatsExport, DumpIsParseable)
+{
+    GatherRunResult r = smallRun();
+    StatRegistry reg;
+    r.exportStats(reg);
+    std::ostringstream os;
+    reg.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("cluster.commTicks"), std::string::npos);
+    EXPECT_NE(out.find("node0.rxBytes"), std::string::npos);
+    // One "name value" pair per line.
+    std::istringstream in(out);
+    std::string name;
+    double value;
+    int lines = 0;
+    while (in >> name >> value)
+        ++lines;
+    EXPECT_EQ(static_cast<std::size_t>(lines), reg.all().size());
+}

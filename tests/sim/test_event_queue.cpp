@@ -1,0 +1,107 @@
+/** @file Unit tests for the discrete-event queue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+using namespace netsparse;
+
+TEST(EventQueue, StartsAtTimeZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.size(), 0u);
+    EXPECT_EQ(eq.nextEventTick(), maxTick);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickEventsRunFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(100, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelativeToNow)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(50, [&] {
+        eq.scheduleIn(25, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 75u);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 100)
+            eq.scheduleIn(1, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(count, 100);
+    EXPECT_EQ(eq.now(), 99u);
+    EXPECT_EQ(eq.executedEvents(), 100u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimitInclusive)
+{
+    EventQueue eq;
+    std::vector<Tick> fired;
+    for (Tick t : {10u, 20u, 30u, 40u})
+        eq.schedule(t, [&fired, &eq] { fired.push_back(eq.now()); });
+    eq.runUntil(30);
+    EXPECT_EQ(fired, (std::vector<Tick>{10, 20, 30}));
+    EXPECT_EQ(eq.size(), 1u);
+    eq.run();
+    EXPECT_EQ(fired.back(), 40u);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(50, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, RandomizedOrderingInvariant)
+{
+    // Property: regardless of insertion order, execution times are
+    // non-decreasing.
+    Rng rng(7);
+    EventQueue eq;
+    std::vector<Tick> fired;
+    for (int i = 0; i < 1000; ++i) {
+        Tick t = rng.uniformInt(0, 10000);
+        eq.schedule(t, [&fired, &eq] { fired.push_back(eq.now()); });
+    }
+    eq.run();
+    ASSERT_EQ(fired.size(), 1000u);
+    for (std::size_t i = 1; i < fired.size(); ++i)
+        EXPECT_GE(fired[i], fired[i - 1]);
+}

@@ -1,0 +1,47 @@
+/** @file Tests for the logging/error helpers. */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+using namespace netsparse;
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(ns_panic("simulator bug: ", 42), std::logic_error);
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(ns_fatal("user error: ", "bad config"),
+                 std::runtime_error);
+}
+
+TEST(Logging, PanicMessageCarriesFormattedArgs)
+{
+    try {
+        ns_panic("value was ", 7, ", expected ", 8);
+        FAIL() << "panic did not throw";
+    } catch (const std::logic_error &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("value was 7, expected 8"), std::string::npos);
+    }
+}
+
+TEST(Logging, AssertPassesAndFails)
+{
+    EXPECT_NO_THROW(ns_assert(1 + 1 == 2, "math works"));
+    EXPECT_THROW(ns_assert(1 + 1 == 3, "math broke at ", __LINE__),
+                 std::logic_error);
+}
+
+TEST(Logging, VerboseToggle)
+{
+    bool before = verbose();
+    setVerbose(false);
+    EXPECT_FALSE(verbose());
+    ns_inform("this line is suppressed");
+    setVerbose(true);
+    EXPECT_TRUE(verbose());
+    setVerbose(before);
+}

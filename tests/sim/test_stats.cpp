@@ -1,0 +1,74 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace netsparse;
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c++;
+    c += 10;
+    EXPECT_EQ(c.value(), 12u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Average, TracksMomentsAndExtremes)
+{
+    Average a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(9.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 15.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 5); // buckets of width 2
+    h.sample(-1.0);            // underflow
+    h.sample(0.0);             // bucket 1
+    h.sample(1.9);             // bucket 1
+    h.sample(9.9);             // bucket 5
+    h.sample(10.0);            // overflow
+    h.sample(100.0);           // overflow
+    EXPECT_EQ(h.totalSamples(), 6u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(5), 1u);
+    EXPECT_EQ(h.bucket(h.numBuckets() - 1), 2u);
+}
+
+TEST(StatRegistry, SetAddGetDump)
+{
+    StatRegistry reg;
+    EXPECT_FALSE(reg.has("x"));
+    EXPECT_DOUBLE_EQ(reg.get("x"), 0.0);
+    reg.set("node0.prs", 10);
+    reg.add("node0.prs", 5);
+    reg.add("node1.prs", 1);
+    EXPECT_TRUE(reg.has("node0.prs"));
+    EXPECT_DOUBLE_EQ(reg.get("node0.prs"), 15.0);
+
+    std::ostringstream os;
+    reg.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("node0.prs"), std::string::npos);
+    EXPECT_NE(out.find("node1.prs"), std::string::npos);
+    // Sorted: node0 before node1.
+    EXPECT_LT(out.find("node0.prs"), out.find("node1.prs"));
+}

@@ -1,0 +1,67 @@
+/** @file Unit tests for ticks, clocks and bandwidths. */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+using namespace netsparse;
+
+TEST(Ticks, UnitRatios)
+{
+    EXPECT_EQ(ticks::ns, 1000u * ticks::ps);
+    EXPECT_EQ(ticks::us, 1000u * ticks::ns);
+    EXPECT_EQ(ticks::ms, 1000u * ticks::us);
+    EXPECT_EQ(ticks::s, 1000u * ticks::ms);
+}
+
+TEST(Ticks, Conversions)
+{
+    EXPECT_DOUBLE_EQ(ticks::toSeconds(ticks::s), 1.0);
+    EXPECT_DOUBLE_EQ(ticks::toNs(5 * ticks::ns), 5.0);
+    EXPECT_EQ(ticks::fromSeconds(1e-6), ticks::us);
+    EXPECT_EQ(ticks::fromSeconds(0.0), 0u);
+}
+
+TEST(Clock, PeriodOfRoundFrequencies)
+{
+    Clock ghz(1e9);
+    EXPECT_EQ(ghz.period(), 1000u); // 1 ns
+    EXPECT_EQ(ghz.cycles(10), 10000u);
+
+    Clock two_ghz(2e9);
+    EXPECT_EQ(two_ghz.period(), 500u);
+}
+
+TEST(Clock, NonIntegralPeriodDoesNotDriftSystematically)
+{
+    // 2.2 GHz has a 454.55 ps period; a million cycles should land
+    // within one period of the exact value.
+    Clock snic(2.2e9);
+    double exact = 1e12 / 2.2e9 * 1e6;
+    Tick measured = snic.cycles(1'000'000);
+    EXPECT_NEAR(static_cast<double>(measured), exact, 455.0);
+    EXPECT_DOUBLE_EQ(snic.frequency(), 2.2e9);
+}
+
+TEST(Bandwidth, SerializationTimes)
+{
+    // 400 Gbps = 50 GB/s = 0.05 bytes/ps -> 1500 B takes 30 ns.
+    Bandwidth b = Bandwidth::fromGbps(400.0);
+    EXPECT_EQ(b.serialize(1500), 30u * ticks::ns);
+    EXPECT_DOUBLE_EQ(b.bytesPerSecond(), 50e9);
+
+    Bandwidth pcie = Bandwidth::fromGBps(256.0);
+    EXPECT_DOUBLE_EQ(pcie.bytesPerSecond(), 256e9);
+    // 4 KB over 256 GB/s = 16 ns.
+    EXPECT_EQ(pcie.serialize(4096), 16u * ticks::ns);
+}
+
+TEST(Bandwidth, SerializeRoundsUpAndZeroIsFree)
+{
+    Bandwidth b = Bandwidth::fromGbps(400.0);
+    EXPECT_EQ(b.serialize(0), 0u);
+    // One byte can never be free.
+    EXPECT_GE(b.serialize(1), 1u);
+    // Monotone in size.
+    EXPECT_LE(b.serialize(100), b.serialize(101));
+}

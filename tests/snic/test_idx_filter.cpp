@@ -1,0 +1,66 @@
+/** @file Tests for the Idx Filter bitvector (Section 5.2). */
+
+#include <gtest/gtest.h>
+
+#include "snic/idx_filter.hh"
+
+using namespace netsparse;
+
+TEST(IdxFilter, StartsClear)
+{
+    IdxFilter f(1000);
+    for (PropIdx i = 0; i < 1000; i += 37)
+        EXPECT_FALSE(f.test(i));
+}
+
+TEST(IdxFilter, SetAndTest)
+{
+    IdxFilter f(256);
+    f.set(0);
+    f.set(63);
+    f.set(64);
+    f.set(255);
+    EXPECT_TRUE(f.test(0));
+    EXPECT_TRUE(f.test(63));
+    EXPECT_TRUE(f.test(64));
+    EXPECT_TRUE(f.test(255));
+    EXPECT_FALSE(f.test(1));
+    EXPECT_FALSE(f.test(65));
+}
+
+TEST(IdxFilter, SetIsIdempotent)
+{
+    IdxFilter f(64);
+    f.set(10);
+    f.set(10);
+    EXPECT_TRUE(f.test(10));
+}
+
+TEST(IdxFilter, ClearResetsEverything)
+{
+    IdxFilter f(128);
+    for (PropIdx i = 0; i < 128; ++i)
+        f.set(i);
+    f.clear();
+    for (PropIdx i = 0; i < 128; ++i)
+        EXPECT_FALSE(f.test(i));
+}
+
+TEST(IdxFilter, SizeBytesMatchesWidth)
+{
+    // One bit per idx, rounded up to 64-bit words.
+    EXPECT_EQ(IdxFilter(1).sizeBytes(), 8u);
+    EXPECT_EQ(IdxFilter(64).sizeBytes(), 8u);
+    EXPECT_EQ(IdxFilter(65).sizeBytes(), 16u);
+    // The paper's sizing argument: 16 GB of SNIC DRAM covers matrices
+    // with over 100 billion columns.
+    IdxFilter big(1ull << 30);
+    EXPECT_EQ(big.sizeBytes(), (1ull << 30) / 8);
+}
+
+TEST(IdxFilter, OutOfRangePanics)
+{
+    IdxFilter f(100);
+    EXPECT_THROW(f.test(100), std::logic_error);
+    EXPECT_THROW(f.set(1000), std::logic_error);
+}

@@ -1,0 +1,87 @@
+/** @file Tests for the Pending PR Table CAM (Section 5.2). */
+
+#include <gtest/gtest.h>
+
+#include "snic/pending_table.hh"
+
+using namespace netsparse;
+
+TEST(PendingTable, InsertContainsComplete)
+{
+    PendingPrTable t(4);
+    EXPECT_FALSE(t.contains(5));
+    t.insert(5);
+    EXPECT_TRUE(t.contains(5));
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.complete(5), 1u);
+    EXPECT_FALSE(t.contains(5));
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(PendingTable, CoalescedWaitersAreServedTogether)
+{
+    PendingPrTable t(4);
+    t.insert(9);
+    t.addWaiter(9);
+    t.addWaiter(9);
+    EXPECT_EQ(t.size(), 1u); // waiters do not consume entries
+    EXPECT_EQ(t.complete(9), 3u);
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(PendingTable, FullStallsAtCapacity)
+{
+    PendingPrTable t(2);
+    t.insert(1);
+    EXPECT_FALSE(t.full());
+    t.insert(2);
+    EXPECT_TRUE(t.full());
+    EXPECT_THROW(t.insert(3), std::logic_error);
+    t.complete(1);
+    EXPECT_FALSE(t.full());
+}
+
+TEST(PendingTable, DuplicateEntriesWithoutCoalescing)
+{
+    // With coalescing disabled, the same idx can occupy several CAM
+    // entries; each response retires exactly one.
+    PendingPrTable t(8);
+    t.insert(7);
+    t.insert(7);
+    t.insert(7);
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_EQ(t.complete(7), 1u);
+    EXPECT_EQ(t.complete(7), 1u);
+    EXPECT_TRUE(t.contains(7));
+    EXPECT_EQ(t.complete(7), 1u);
+    EXPECT_FALSE(t.contains(7));
+}
+
+TEST(PendingTable, StaleResponseReturnsZero)
+{
+    PendingPrTable t(4);
+    EXPECT_EQ(t.complete(42), 0u);
+}
+
+TEST(PendingTable, ResetDiscardsEverything)
+{
+    PendingPrTable t(4);
+    t.insert(1);
+    t.insert(2);
+    t.addWaiter(2);
+    t.reset();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_FALSE(t.full());
+    EXPECT_EQ(t.complete(1), 0u);
+}
+
+TEST(PendingTable, TracksMaxOccupancy)
+{
+    PendingPrTable t(8);
+    t.insert(1);
+    t.insert(2);
+    t.insert(3);
+    t.complete(1);
+    t.complete(2);
+    EXPECT_EQ(t.maxOccupancy(), 3u);
+}

@@ -1,0 +1,146 @@
+/** @file Unit tests for COO/CSR matrix containers. */
+
+#include <gtest/gtest.h>
+
+#include "sparse/coo.hh"
+#include "sparse/csr.hh"
+
+using namespace netsparse;
+
+namespace {
+
+/** The example matrix of the paper's Figure 1: 8x8, nonzeros a..g. */
+Coo
+figure1Matrix()
+{
+    Coo m;
+    m.rows = m.cols = 8;
+    m.push(0, 4); // a
+    m.push(1, 1); // b
+    m.push(2, 6); // c
+    m.push(4, 3); // d
+    m.push(5, 3); // e
+    m.push(6, 7); // f
+    m.push(7, 6); // g
+    return m;
+}
+
+} // namespace
+
+TEST(Coo, BasicConstruction)
+{
+    Coo m = figure1Matrix();
+    EXPECT_EQ(m.nnz(), 7u);
+    EXPECT_FALSE(m.hasValues());
+    EXPECT_FLOAT_EQ(m.valueAt(0), 1.0f);
+    m.validate();
+}
+
+TEST(Coo, ValuesTrackCoordinates)
+{
+    Coo m;
+    m.rows = m.cols = 4;
+    m.push(0, 1, 2.5f);
+    m.push(3, 2, -1.0f);
+    EXPECT_TRUE(m.hasValues());
+    EXPECT_FLOAT_EQ(m.valueAt(1), -1.0f);
+    m.validate();
+}
+
+TEST(Coo, SortRowMajorOrdersAndKeepsValues)
+{
+    Coo m;
+    m.rows = m.cols = 4;
+    m.push(3, 0, 3.0f);
+    m.push(0, 2, 1.0f);
+    m.push(0, 1, 2.0f);
+    m.sortRowMajor();
+    EXPECT_EQ(m.rowIdx, (std::vector<std::uint32_t>{0, 0, 3}));
+    EXPECT_EQ(m.colIdx, (std::vector<std::uint32_t>{1, 2, 0}));
+    EXPECT_EQ(m.vals, (std::vector<float>{2.0f, 1.0f, 3.0f}));
+}
+
+TEST(Coo, DedupeSumsValues)
+{
+    Coo m;
+    m.rows = m.cols = 4;
+    m.push(1, 1, 1.0f);
+    m.push(1, 1, 2.0f);
+    m.push(2, 0, 5.0f);
+    m.sortRowMajor();
+    m.dedupe();
+    EXPECT_EQ(m.nnz(), 2u);
+    EXPECT_FLOAT_EQ(m.vals[0], 3.0f);
+    EXPECT_FLOAT_EQ(m.vals[1], 5.0f);
+}
+
+TEST(Coo, ValidatePanicsOnBadCoordinates)
+{
+    Coo m;
+    m.rows = m.cols = 4;
+    m.push(4, 0);
+    EXPECT_THROW(m.validate(), std::logic_error);
+}
+
+TEST(Csr, FromCooMatchesStructure)
+{
+    Csr m = Csr::fromCoo(figure1Matrix());
+    m.validate();
+    EXPECT_EQ(m.rows, 8u);
+    EXPECT_EQ(m.nnz(), 7u);
+    EXPECT_EQ(m.rowDegree(0), 1u);
+    EXPECT_EQ(m.rowDegree(3), 0u);
+    EXPECT_EQ(m.rowCols(2)[0], 6u);
+    EXPECT_EQ(m.rowCols(4)[0], 3u);
+}
+
+TEST(Csr, RoundTripThroughCoo)
+{
+    Coo orig = figure1Matrix();
+    orig.sortRowMajor();
+    Coo again = Csr::fromCoo(orig).toCoo();
+    EXPECT_EQ(again.rowIdx, orig.rowIdx);
+    EXPECT_EQ(again.colIdx, orig.colIdx);
+}
+
+TEST(Csr, TransposeTwiceIsIdentity)
+{
+    Csr m = Csr::fromCoo(figure1Matrix());
+    Csr tt = m.transposed().transposed();
+    EXPECT_EQ(tt.rowPtr, m.rowPtr);
+    EXPECT_EQ(tt.colIdx, m.colIdx);
+}
+
+TEST(Csr, TransposeSwapsCoordinates)
+{
+    Csr m = Csr::fromCoo(figure1Matrix());
+    Csr t = m.transposed();
+    t.validate();
+    EXPECT_EQ(t.rows, m.cols);
+    // Column 3 of the original had rows {4, 5}.
+    auto cols = t.rowCols(3);
+    ASSERT_EQ(cols.size(), 2u);
+    EXPECT_EQ(cols[0], 4u);
+    EXPECT_EQ(cols[1], 5u);
+}
+
+TEST(Csr, ValuesSurviveFromCooAndTranspose)
+{
+    Coo c;
+    c.rows = c.cols = 3;
+    c.push(0, 2, 7.0f);
+    c.push(2, 0, 3.0f);
+    Csr m = Csr::fromCoo(c);
+    EXPECT_FLOAT_EQ(m.valueAt(0), 7.0f);
+    Csr t = m.transposed();
+    // (0,2,7) becomes (2,0,7): stored last in row-major order of t.
+    EXPECT_FLOAT_EQ(t.vals[1], 7.0f);
+    EXPECT_FLOAT_EQ(t.vals[0], 3.0f);
+}
+
+TEST(Csr, ValidateCatchesBrokenRowPtr)
+{
+    Csr m = Csr::fromCoo(figure1Matrix());
+    m.rowPtr[3] = 100;
+    EXPECT_THROW(m.validate(), std::logic_error);
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Property tests for the workload generators: structural invariants
+ * that must hold for any seed, plus the communication-relevant
+ * characteristics each archetype was designed around (DESIGN.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "analysis/comm_pattern.hh"
+#include "sparse/generators.hh"
+
+using namespace netsparse;
+
+namespace {
+
+/** In-degree of the most popular column. */
+std::uint64_t
+hottestColumn(const Csr &m)
+{
+    std::vector<std::uint32_t> indeg(m.cols, 0);
+    for (auto c : m.colIdx)
+        ++indeg[c];
+    std::uint64_t mx = 0;
+    for (auto d : indeg)
+        mx = std::max<std::uint64_t>(mx, d);
+    return mx;
+}
+
+} // namespace
+
+/** Seed sweep: every generator yields a valid matrix for any seed. */
+class GeneratorSeedTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(GeneratorSeedTest, WebCrawlValidForAnySeed)
+{
+    WebCrawlParams p;
+    p.rows = 4096;
+    p.avgDeg = 8;
+    p.seed = GetParam();
+    Coo m = makeWebCrawl(p);
+    m.validate();
+    EXPECT_GT(m.nnz(), p.rows); // degree target keeps it non-trivial
+}
+
+TEST_P(GeneratorSeedTest, RoadNetworkValidForAnySeed)
+{
+    RoadNetworkParams p;
+    p.rows = 4096;
+    p.seed = GetParam();
+    Coo m = makeRoadNetwork(p);
+    m.validate();
+}
+
+TEST_P(GeneratorSeedTest, StokesValidForAnySeed)
+{
+    StokesLikeParams p;
+    p.rows = 4096;
+    p.band = 32;
+    p.deg = 12;
+    p.couplingJitter = 64;
+    p.seed = GetParam();
+    Coo m = makeStokesLike(p);
+    m.validate();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedTest,
+                         ::testing::Values(1ull, 42ull, 0xdeadbeefull,
+                                           0xffffffffffffffffull));
+
+TEST(GeneratorProperties, WebCrawlConcentratesForeignLinks)
+{
+    // The zipf region popularity must concentrate traffic: the hottest
+    // column absorbs far more links than a uniform spread would.
+    Csr m = makeBenchmarkMatrix(MatrixKind::Arabic, 0.05);
+    double uniform = static_cast<double>(m.nnz()) / m.cols;
+    EXPECT_GT(static_cast<double>(hottestColumn(m)), 50.0 * uniform);
+}
+
+TEST(GeneratorProperties, ArchetypeOrderingsForFiltering)
+{
+    // Table 1's qualitative content: SA redundancy (what filtering can
+    // remove) is high for the reuse-heavy archetypes, near zero for the
+    // road network.
+    const std::uint32_t nodes = 32;
+    double sa[5];
+    int i = 0;
+    for (auto &bm : benchmarkSuite(0.25)) {
+        Partition1D part = Partition1D::equalRows(bm.matrix.rows, nodes);
+        sa[i++] = analyzeCommPattern(bm.matrix, part).saRedundancyRatio();
+    }
+    // arabic and queen well above 1 redundant per useful...
+    EXPECT_GT(sa[0], 1.0);
+    EXPECT_GT(sa[2], 1.0);
+    // ...europe essentially none.
+    EXPECT_LT(sa[1], 0.2);
+}
+
+TEST(GeneratorProperties, QueenHasPerfectDestinationLocality)
+{
+    Csr m = makeBenchmarkMatrix(MatrixKind::Queen, 0.25);
+    Partition1D part = Partition1D::equalRows(m.rows, 32);
+    EXPECT_NEAR(avgUniqueDestinations(m, part, 64), 1.0, 0.2);
+}
+
+TEST(GeneratorProperties, WebCrawlsShareAcrossRacks)
+{
+    // Section 3's sharing potential must be present for the web crawls
+    // (it drives the Property Cache results) and absent for europe.
+    Csr web = makeBenchmarkMatrix(MatrixKind::Uk, 0.25);
+    Csr road = makeBenchmarkMatrix(MatrixKind::Europe, 0.25);
+    Partition1D pw = Partition1D::equalRows(web.rows, 64);
+    Partition1D pr = Partition1D::equalRows(road.rows, 64);
+    EXPECT_GT(rackSharingFraction(web, pw, 16), 0.5);
+    EXPECT_LT(rackSharingFraction(road, pr, 16), 0.1);
+}
+
+TEST(GeneratorProperties, StokesCouplingTargetsOnePartnerRegion)
+{
+    // Each node's far traffic concentrates around (node + N/2): few
+    // unique destinations (Table 4's stokes = 1.85).
+    Csr m = makeBenchmarkMatrix(MatrixKind::Stokes, 0.25);
+    Partition1D part = Partition1D::equalRows(m.rows, 32);
+    double dests = avgUniqueDestinations(m, part, 64);
+    EXPECT_LT(dests, 6.0);
+    EXPECT_GE(dests, 1.0);
+}
+
+TEST(GeneratorProperties, ScaleDoesNotChangeTheCharacter)
+{
+    // The SA redundancy ratio is a per-node structural property; it
+    // drifts with size (reuse pools grow sublinearly) but must stay in
+    // the same regime across a 4x size change rather than collapse.
+    for (auto kind : {MatrixKind::Arabic, MatrixKind::Queen}) {
+        Csr small = makeBenchmarkMatrix(kind, 0.125);
+        Csr big = makeBenchmarkMatrix(kind, 0.5);
+        double rs = analyzeCommPattern(
+                        small, Partition1D::equalRows(small.rows, 32))
+                        .saRedundancyRatio();
+        double rb = analyzeCommPattern(
+                        big, Partition1D::equalRows(big.rows, 32))
+                        .saRedundancyRatio();
+        EXPECT_LT(rs, 5.0 * rb) << matrixName(kind);
+        EXPECT_GT(rs, rb / 5.0) << matrixName(kind);
+        EXPECT_GT(rs, 1.0) << matrixName(kind); // stays reuse-heavy
+        EXPECT_GT(rb, 1.0) << matrixName(kind);
+    }
+}

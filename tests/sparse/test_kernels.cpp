@@ -1,0 +1,142 @@
+/** @file Unit and property tests for the reference sparse kernels. */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+#include "sparse/generators.hh"
+#include "sparse/kernels.hh"
+
+using namespace netsparse;
+
+namespace {
+
+Csr
+smallMatrix()
+{
+    // [[1 0 2]
+    //  [0 0 0]
+    //  [0 3 4]]
+    Coo c;
+    c.rows = c.cols = 3;
+    c.push(0, 0, 1.0f);
+    c.push(0, 2, 2.0f);
+    c.push(2, 1, 3.0f);
+    c.push(2, 2, 4.0f);
+    return Csr::fromCoo(c);
+}
+
+std::vector<float>
+randomDense(std::uint32_t n, std::uint32_t k, std::uint64_t seed)
+{
+    std::vector<float> v(static_cast<std::size_t>(n) * k);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] = static_cast<float>((splitmix64(seed + i) % 100)) / 10.0f;
+    return v;
+}
+
+} // namespace
+
+TEST(Kernels, SpmvHandComputed)
+{
+    Csr a = smallMatrix();
+    std::vector<float> x{10.0f, 20.0f, 30.0f};
+    auto y = spmv(a, x);
+    ASSERT_EQ(y.size(), 3u);
+    EXPECT_FLOAT_EQ(y[0], 1 * 10 + 2 * 30);
+    EXPECT_FLOAT_EQ(y[1], 0.0f);
+    EXPECT_FLOAT_EQ(y[2], 3 * 20 + 4 * 30);
+}
+
+TEST(Kernels, SpmmEachColumnIsAnSpmv)
+{
+    Csr a = smallMatrix();
+    const std::uint32_t k = 4;
+    auto x = randomDense(3, k, 11);
+    auto y = spmm(a, x, k);
+    for (std::uint32_t j = 0; j < k; ++j) {
+        std::vector<float> xcol(3);
+        for (std::uint32_t i = 0; i < 3; ++i)
+            xcol[i] = x[i * k + j];
+        auto ycol = spmv(a, xcol);
+        for (std::uint32_t i = 0; i < 3; ++i)
+            EXPECT_FLOAT_EQ(y[i * k + j], ycol[i]);
+    }
+}
+
+TEST(Kernels, SpmmWithIdentityReturnsX)
+{
+    const std::uint32_t n = 16, k = 3;
+    Coo c;
+    c.rows = c.cols = n;
+    for (std::uint32_t i = 0; i < n; ++i)
+        c.push(i, i, 1.0f);
+    Csr eye = Csr::fromCoo(c);
+    auto x = randomDense(n, k, 22);
+    auto y = spmm(eye, x, k);
+    EXPECT_EQ(y, x);
+}
+
+TEST(Kernels, PatternMatrixUsesImplicitOnes)
+{
+    Coo c;
+    c.rows = c.cols = 2;
+    c.push(0, 0);
+    c.push(0, 1);
+    Csr a = Csr::fromCoo(c);
+    auto y = spmv(a, {3.0f, 4.0f});
+    EXPECT_FLOAT_EQ(y[0], 7.0f);
+}
+
+TEST(Kernels, SddmmHandComputed)
+{
+    Csr a = smallMatrix();
+    const std::uint32_t k = 2;
+    // U rows: [1,0],[0,1],[1,1]; V rows: [2,0],[0,3],[1,1]
+    std::vector<float> u{1, 0, 0, 1, 1, 1};
+    std::vector<float> v{2, 0, 0, 3, 1, 1};
+    auto out = sddmm(a, u, v, k);
+    ASSERT_EQ(out.size(), a.nnz());
+    // nnz order: (0,0,1),(0,2,2),(2,1,3),(2,2,4)
+    EXPECT_FLOAT_EQ(out[0], 1.0f * (1 * 2 + 0 * 0));
+    EXPECT_FLOAT_EQ(out[1], 2.0f * (1 * 1 + 0 * 1));
+    EXPECT_FLOAT_EQ(out[2], 3.0f * (1 * 0 + 1 * 3));
+    EXPECT_FLOAT_EQ(out[3], 4.0f * (1 * 1 + 1 * 1));
+}
+
+TEST(Kernels, SpmmLinearityProperty)
+{
+    Csr a = makeBenchmarkMatrix(MatrixKind::Queen, 0.02);
+    const std::uint32_t k = 2;
+    auto x1 = randomDense(a.cols, k, 1);
+    auto x2 = randomDense(a.cols, k, 2);
+    std::vector<float> sum(x1.size());
+    for (std::size_t i = 0; i < sum.size(); ++i)
+        sum[i] = x1[i] + x2[i];
+
+    auto y1 = spmm(a, x1, k);
+    auto y2 = spmm(a, x2, k);
+    auto ys = spmm(a, sum, k);
+    for (std::size_t i = 0; i < ys.size(); i += 101)
+        EXPECT_NEAR(ys[i], y1[i] + y2[i], 1e-2f);
+}
+
+TEST(Kernels, CostModelsScaleLinearly)
+{
+    auto c1 = spmmCost(1000, 100, 16);
+    auto c2 = spmmCost(2000, 100, 16);
+    EXPECT_EQ(c1.flops * 2, c2.flops);
+    EXPECT_GT(c2.bytes, c1.bytes);
+
+    auto s1 = sddmmCost(1000, 16);
+    auto s2 = sddmmCost(1000, 32);
+    EXPECT_EQ(s1.flops * 2, s2.flops);
+    EXPECT_GT(s2.bytes, s1.bytes);
+}
+
+TEST(Kernels, DimensionMismatchPanics)
+{
+    Csr a = smallMatrix();
+    EXPECT_THROW(spmm(a, std::vector<float>(5), 2), std::logic_error);
+    EXPECT_THROW(sddmm(a, std::vector<float>(6), std::vector<float>(5), 2),
+                 std::logic_error);
+}

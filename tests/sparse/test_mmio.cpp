@@ -1,0 +1,115 @@
+/** @file Unit tests for Matrix Market I/O. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/mmio.hh"
+
+using namespace netsparse;
+
+TEST(Mmio, ReadsGeneralRealMatrix)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment\n"
+        "3 4 2\n"
+        "1 2 1.5\n"
+        "3 4 -2.0\n");
+    Coo m = readMatrixMarket(in);
+    EXPECT_EQ(m.rows, 3u);
+    EXPECT_EQ(m.cols, 4u);
+    ASSERT_EQ(m.nnz(), 2u);
+    EXPECT_EQ(m.rowIdx[0], 0u);
+    EXPECT_EQ(m.colIdx[0], 1u);
+    EXPECT_FLOAT_EQ(m.vals[1], -2.0f);
+}
+
+TEST(Mmio, ReadsPatternMatrix)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 2\n"
+        "1 1\n"
+        "2 2\n");
+    Coo m = readMatrixMarket(in);
+    EXPECT_FALSE(m.hasValues());
+    EXPECT_EQ(m.nnz(), 2u);
+}
+
+TEST(Mmio, SymmetricExpandsOffDiagonals)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 2\n"
+        "2 1 5.0\n"
+        "3 3 1.0\n");
+    Coo m = readMatrixMarket(in);
+    // (2,1) mirrors to (1,2); the diagonal entry does not.
+    EXPECT_EQ(m.nnz(), 3u);
+}
+
+TEST(Mmio, RoundTripPreservesEverything)
+{
+    Coo m;
+    m.rows = 5;
+    m.cols = 7;
+    m.push(0, 6, 1.25f);
+    m.push(4, 0, -3.5f);
+    std::ostringstream out;
+    writeMatrixMarket(out, m);
+    std::istringstream in(out.str());
+    Coo back = readMatrixMarket(in);
+    EXPECT_EQ(back.rows, m.rows);
+    EXPECT_EQ(back.cols, m.cols);
+    EXPECT_EQ(back.rowIdx, m.rowIdx);
+    EXPECT_EQ(back.colIdx, m.colIdx);
+    EXPECT_EQ(back.vals, m.vals);
+}
+
+TEST(Mmio, PatternRoundTrip)
+{
+    Coo m;
+    m.rows = m.cols = 3;
+    m.push(0, 1);
+    m.push(2, 2);
+    std::ostringstream out;
+    writeMatrixMarket(out, m);
+    std::istringstream in(out.str());
+    Coo back = readMatrixMarket(in);
+    EXPECT_FALSE(back.hasValues());
+    EXPECT_EQ(back.colIdx, m.colIdx);
+}
+
+TEST(Mmio, RejectsMalformedInput)
+{
+    {
+        std::istringstream in("not matrix market\n1 1 0\n");
+        EXPECT_THROW(readMatrixMarket(in), std::runtime_error);
+    }
+    {
+        std::istringstream in(
+            "%%MatrixMarket matrix array real general\n2 2\n");
+        EXPECT_THROW(readMatrixMarket(in), std::runtime_error);
+    }
+    {
+        // Out-of-range entry.
+        std::istringstream in(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n5 1 1.0\n");
+        EXPECT_THROW(readMatrixMarket(in), std::runtime_error);
+    }
+    {
+        // Truncated entries.
+        std::istringstream in(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n1 1 1.0\n");
+        EXPECT_THROW(readMatrixMarket(in), std::runtime_error);
+    }
+}
+
+TEST(Mmio, MissingFileFails)
+{
+    EXPECT_THROW(readMatrixMarketFile("/nonexistent/file.mtx"),
+                 std::runtime_error);
+}
