@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_sa_goodput.dir/bench_fig10_sa_goodput.cpp.o"
+  "CMakeFiles/bench_fig10_sa_goodput.dir/bench_fig10_sa_goodput.cpp.o.d"
+  "bench_fig10_sa_goodput"
+  "bench_fig10_sa_goodput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_sa_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_rig_units.dir/bench_fig16_rig_units.cpp.o"
+  "CMakeFiles/bench_fig16_rig_units.dir/bench_fig16_rig_units.cpp.o.d"
+  "bench_fig16_rig_units"
+  "bench_fig16_rig_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_rig_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

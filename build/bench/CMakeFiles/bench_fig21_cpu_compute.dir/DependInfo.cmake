@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig21_cpu_compute.cpp" "bench/CMakeFiles/bench_fig21_cpu_compute.dir/bench_fig21_cpu_compute.cpp.o" "gcc" "bench/CMakeFiles/bench_fig21_cpu_compute.dir/bench_fig21_cpu_compute.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ns_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ns_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/ns_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/snic/CMakeFiles/ns_snic.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/ns_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ns_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/ns_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/concat/CMakeFiles/ns_concat.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ns_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwcost/CMakeFiles/ns_hwcost.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ns_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

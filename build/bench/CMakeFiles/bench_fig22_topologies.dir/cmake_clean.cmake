@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_topologies.dir/bench_fig22_topologies.cpp.o"
+  "CMakeFiles/bench_fig22_topologies.dir/bench_fig22_topologies.cpp.o.d"
+  "bench_fig22_topologies"
+  "bench_fig22_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_motivation_sharing.dir/bench_motivation_sharing.cpp.o"
+  "CMakeFiles/bench_motivation_sharing.dir/bench_motivation_sharing.cpp.o.d"
+  "bench_motivation_sharing"
+  "bench_motivation_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motivation_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

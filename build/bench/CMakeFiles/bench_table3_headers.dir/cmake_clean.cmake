@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_headers.dir/bench_table3_headers.cpp.o"
+  "CMakeFiles/bench_table3_headers.dir/bench_table3_headers.cpp.o.d"
+  "bench_table3_headers"
+  "bench_table3_headers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_headers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

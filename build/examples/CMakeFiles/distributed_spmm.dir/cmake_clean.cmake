@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_spmm.dir/distributed_spmm.cpp.o"
+  "CMakeFiles/distributed_spmm.dir/distributed_spmm.cpp.o.d"
+  "distributed_spmm"
+  "distributed_spmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_spmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

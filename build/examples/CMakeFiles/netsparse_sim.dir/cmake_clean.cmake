@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsparse_sim.dir/netsparse_sim.cpp.o"
+  "CMakeFiles/netsparse_sim.dir/netsparse_sim.cpp.o.d"
+  "netsparse_sim"
+  "netsparse_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsparse_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verbs_gather.dir/verbs_gather.cpp.o"
+  "CMakeFiles/verbs_gather.dir/verbs_gather.cpp.o.d"
+  "verbs_gather"
+  "verbs_gather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verbs_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("sparse")
+subdirs("analysis")
+subdirs("net")
+subdirs("concat")
+subdirs("cache")
+subdirs("snic")
+subdirs("host")
+subdirs("compute")
+subdirs("baseline")
+subdirs("runtime")
+subdirs("hwcost")

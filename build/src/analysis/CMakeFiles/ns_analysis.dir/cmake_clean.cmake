@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_analysis.dir/comm_pattern.cc.o"
+  "CMakeFiles/ns_analysis.dir/comm_pattern.cc.o.d"
+  "libns_analysis.a"
+  "libns_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

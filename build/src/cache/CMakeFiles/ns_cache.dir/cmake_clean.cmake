@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_cache.dir/property_cache.cc.o"
+  "CMakeFiles/ns_cache.dir/property_cache.cc.o.d"
+  "libns_cache.a"
+  "libns_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

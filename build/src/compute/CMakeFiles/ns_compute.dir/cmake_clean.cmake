@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_compute.dir/models.cc.o"
+  "CMakeFiles/ns_compute.dir/models.cc.o.d"
+  "libns_compute.a"
+  "libns_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

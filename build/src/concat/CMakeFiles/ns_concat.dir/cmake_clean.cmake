@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_concat.dir/concatenator.cc.o"
+  "CMakeFiles/ns_concat.dir/concatenator.cc.o.d"
+  "libns_concat.a"
+  "libns_concat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_concat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

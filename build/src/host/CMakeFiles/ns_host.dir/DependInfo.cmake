@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/host_node.cc" "src/host/CMakeFiles/ns_host.dir/host_node.cc.o" "gcc" "src/host/CMakeFiles/ns_host.dir/host_node.cc.o.d"
+  "/root/repo/src/host/verbs.cc" "src/host/CMakeFiles/ns_host.dir/verbs.cc.o" "gcc" "src/host/CMakeFiles/ns_host.dir/verbs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/snic/CMakeFiles/ns_snic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ns_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/concat/CMakeFiles/ns_concat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

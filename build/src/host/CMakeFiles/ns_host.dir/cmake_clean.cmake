@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_host.dir/host_node.cc.o"
+  "CMakeFiles/ns_host.dir/host_node.cc.o.d"
+  "CMakeFiles/ns_host.dir/verbs.cc.o"
+  "CMakeFiles/ns_host.dir/verbs.cc.o.d"
+  "libns_host.a"
+  "libns_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_hwcost.dir/hw_model.cc.o"
+  "CMakeFiles/ns_hwcost.dir/hw_model.cc.o.d"
+  "libns_hwcost.a"
+  "libns_hwcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

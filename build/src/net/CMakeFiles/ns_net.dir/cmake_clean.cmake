@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_net.dir/link.cc.o"
+  "CMakeFiles/ns_net.dir/link.cc.o.d"
+  "CMakeFiles/ns_net.dir/switch.cc.o"
+  "CMakeFiles/ns_net.dir/switch.cc.o.d"
+  "CMakeFiles/ns_net.dir/topology.cc.o"
+  "CMakeFiles/ns_net.dir/topology.cc.o.d"
+  "libns_net.a"
+  "libns_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_runtime.dir/cluster.cc.o"
+  "CMakeFiles/ns_runtime.dir/cluster.cc.o.d"
+  "CMakeFiles/ns_runtime.dir/distributed_kernels.cc.o"
+  "CMakeFiles/ns_runtime.dir/distributed_kernels.cc.o.d"
+  "CMakeFiles/ns_runtime.dir/end_to_end.cc.o"
+  "CMakeFiles/ns_runtime.dir/end_to_end.cc.o.d"
+  "libns_runtime.a"
+  "libns_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_sim.dir/event_queue.cc.o"
+  "CMakeFiles/ns_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/ns_sim.dir/logging.cc.o"
+  "CMakeFiles/ns_sim.dir/logging.cc.o.d"
+  "CMakeFiles/ns_sim.dir/stats.cc.o"
+  "CMakeFiles/ns_sim.dir/stats.cc.o.d"
+  "libns_sim.a"
+  "libns_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_snic.dir/rig_unit.cc.o"
+  "CMakeFiles/ns_snic.dir/rig_unit.cc.o.d"
+  "CMakeFiles/ns_snic.dir/snic.cc.o"
+  "CMakeFiles/ns_snic.dir/snic.cc.o.d"
+  "libns_snic.a"
+  "libns_snic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_snic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/coo.cc" "src/sparse/CMakeFiles/ns_sparse.dir/coo.cc.o" "gcc" "src/sparse/CMakeFiles/ns_sparse.dir/coo.cc.o.d"
+  "/root/repo/src/sparse/csr.cc" "src/sparse/CMakeFiles/ns_sparse.dir/csr.cc.o" "gcc" "src/sparse/CMakeFiles/ns_sparse.dir/csr.cc.o.d"
+  "/root/repo/src/sparse/generators.cc" "src/sparse/CMakeFiles/ns_sparse.dir/generators.cc.o" "gcc" "src/sparse/CMakeFiles/ns_sparse.dir/generators.cc.o.d"
+  "/root/repo/src/sparse/kernels.cc" "src/sparse/CMakeFiles/ns_sparse.dir/kernels.cc.o" "gcc" "src/sparse/CMakeFiles/ns_sparse.dir/kernels.cc.o.d"
+  "/root/repo/src/sparse/mmio.cc" "src/sparse/CMakeFiles/ns_sparse.dir/mmio.cc.o" "gcc" "src/sparse/CMakeFiles/ns_sparse.dir/mmio.cc.o.d"
+  "/root/repo/src/sparse/partition.cc" "src/sparse/CMakeFiles/ns_sparse.dir/partition.cc.o" "gcc" "src/sparse/CMakeFiles/ns_sparse.dir/partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ns_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

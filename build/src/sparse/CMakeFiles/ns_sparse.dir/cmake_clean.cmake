@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_sparse.dir/coo.cc.o"
+  "CMakeFiles/ns_sparse.dir/coo.cc.o.d"
+  "CMakeFiles/ns_sparse.dir/csr.cc.o"
+  "CMakeFiles/ns_sparse.dir/csr.cc.o.d"
+  "CMakeFiles/ns_sparse.dir/generators.cc.o"
+  "CMakeFiles/ns_sparse.dir/generators.cc.o.d"
+  "CMakeFiles/ns_sparse.dir/kernels.cc.o"
+  "CMakeFiles/ns_sparse.dir/kernels.cc.o.d"
+  "CMakeFiles/ns_sparse.dir/mmio.cc.o"
+  "CMakeFiles/ns_sparse.dir/mmio.cc.o.d"
+  "CMakeFiles/ns_sparse.dir/partition.cc.o"
+  "CMakeFiles/ns_sparse.dir/partition.cc.o.d"
+  "libns_sparse.a"
+  "libns_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/test_comm_pattern.cpp" "tests/CMakeFiles/netsparse_tests.dir/analysis/test_comm_pattern.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/analysis/test_comm_pattern.cpp.o.d"
+  "/root/repo/tests/baseline/test_baselines.cpp" "tests/CMakeFiles/netsparse_tests.dir/baseline/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/baseline/test_baselines.cpp.o.d"
+  "/root/repo/tests/cache/test_property_cache.cpp" "tests/CMakeFiles/netsparse_tests.dir/cache/test_property_cache.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/cache/test_property_cache.cpp.o.d"
+  "/root/repo/tests/compute/test_compute.cpp" "tests/CMakeFiles/netsparse_tests.dir/compute/test_compute.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/compute/test_compute.cpp.o.d"
+  "/root/repo/tests/concat/test_concat_timing.cpp" "tests/CMakeFiles/netsparse_tests.dir/concat/test_concat_timing.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/concat/test_concat_timing.cpp.o.d"
+  "/root/repo/tests/concat/test_concatenator.cpp" "tests/CMakeFiles/netsparse_tests.dir/concat/test_concatenator.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/concat/test_concatenator.cpp.o.d"
+  "/root/repo/tests/host/test_verbs.cpp" "tests/CMakeFiles/netsparse_tests.dir/host/test_verbs.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/host/test_verbs.cpp.o.d"
+  "/root/repo/tests/hwcost/test_hw_model.cpp" "tests/CMakeFiles/netsparse_tests.dir/hwcost/test_hw_model.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/hwcost/test_hw_model.cpp.o.d"
+  "/root/repo/tests/integration/test_distributed_kernels.cpp" "tests/CMakeFiles/netsparse_tests.dir/integration/test_distributed_kernels.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/integration/test_distributed_kernels.cpp.o.d"
+  "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/netsparse_tests.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/integration/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/integration/test_fault_injection.cpp" "tests/CMakeFiles/netsparse_tests.dir/integration/test_fault_injection.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/integration/test_fault_injection.cpp.o.d"
+  "/root/repo/tests/integration/test_gather.cpp" "tests/CMakeFiles/netsparse_tests.dir/integration/test_gather.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/integration/test_gather.cpp.o.d"
+  "/root/repo/tests/integration/test_latency.cpp" "tests/CMakeFiles/netsparse_tests.dir/integration/test_latency.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/integration/test_latency.cpp.o.d"
+  "/root/repo/tests/net/test_link.cpp" "tests/CMakeFiles/netsparse_tests.dir/net/test_link.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/net/test_link.cpp.o.d"
+  "/root/repo/tests/net/test_protocol.cpp" "tests/CMakeFiles/netsparse_tests.dir/net/test_protocol.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/net/test_protocol.cpp.o.d"
+  "/root/repo/tests/net/test_switch.cpp" "tests/CMakeFiles/netsparse_tests.dir/net/test_switch.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/net/test_switch.cpp.o.d"
+  "/root/repo/tests/net/test_switch_pipes.cpp" "tests/CMakeFiles/netsparse_tests.dir/net/test_switch_pipes.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/net/test_switch_pipes.cpp.o.d"
+  "/root/repo/tests/net/test_topology.cpp" "tests/CMakeFiles/netsparse_tests.dir/net/test_topology.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/net/test_topology.cpp.o.d"
+  "/root/repo/tests/runtime/test_feature_set.cpp" "tests/CMakeFiles/netsparse_tests.dir/runtime/test_feature_set.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/runtime/test_feature_set.cpp.o.d"
+  "/root/repo/tests/runtime/test_stats_export.cpp" "tests/CMakeFiles/netsparse_tests.dir/runtime/test_stats_export.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/runtime/test_stats_export.cpp.o.d"
+  "/root/repo/tests/sim/test_event_queue.cpp" "tests/CMakeFiles/netsparse_tests.dir/sim/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/sim/test_event_queue.cpp.o.d"
+  "/root/repo/tests/sim/test_logging.cpp" "tests/CMakeFiles/netsparse_tests.dir/sim/test_logging.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/sim/test_logging.cpp.o.d"
+  "/root/repo/tests/sim/test_rng.cpp" "tests/CMakeFiles/netsparse_tests.dir/sim/test_rng.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/sim/test_rng.cpp.o.d"
+  "/root/repo/tests/sim/test_stats.cpp" "tests/CMakeFiles/netsparse_tests.dir/sim/test_stats.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/sim/test_stats.cpp.o.d"
+  "/root/repo/tests/sim/test_types.cpp" "tests/CMakeFiles/netsparse_tests.dir/sim/test_types.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/sim/test_types.cpp.o.d"
+  "/root/repo/tests/snic/test_idx_filter.cpp" "tests/CMakeFiles/netsparse_tests.dir/snic/test_idx_filter.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/snic/test_idx_filter.cpp.o.d"
+  "/root/repo/tests/snic/test_pcie.cpp" "tests/CMakeFiles/netsparse_tests.dir/snic/test_pcie.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/snic/test_pcie.cpp.o.d"
+  "/root/repo/tests/snic/test_pending_table.cpp" "tests/CMakeFiles/netsparse_tests.dir/snic/test_pending_table.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/snic/test_pending_table.cpp.o.d"
+  "/root/repo/tests/snic/test_rig_unit.cpp" "tests/CMakeFiles/netsparse_tests.dir/snic/test_rig_unit.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/snic/test_rig_unit.cpp.o.d"
+  "/root/repo/tests/snic/test_snic.cpp" "tests/CMakeFiles/netsparse_tests.dir/snic/test_snic.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/snic/test_snic.cpp.o.d"
+  "/root/repo/tests/sparse/test_coo_csr.cpp" "tests/CMakeFiles/netsparse_tests.dir/sparse/test_coo_csr.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/sparse/test_coo_csr.cpp.o.d"
+  "/root/repo/tests/sparse/test_generator_properties.cpp" "tests/CMakeFiles/netsparse_tests.dir/sparse/test_generator_properties.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/sparse/test_generator_properties.cpp.o.d"
+  "/root/repo/tests/sparse/test_generators.cpp" "tests/CMakeFiles/netsparse_tests.dir/sparse/test_generators.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/sparse/test_generators.cpp.o.d"
+  "/root/repo/tests/sparse/test_kernels.cpp" "tests/CMakeFiles/netsparse_tests.dir/sparse/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/sparse/test_kernels.cpp.o.d"
+  "/root/repo/tests/sparse/test_mmio.cpp" "tests/CMakeFiles/netsparse_tests.dir/sparse/test_mmio.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/sparse/test_mmio.cpp.o.d"
+  "/root/repo/tests/sparse/test_partition.cpp" "tests/CMakeFiles/netsparse_tests.dir/sparse/test_partition.cpp.o" "gcc" "tests/CMakeFiles/netsparse_tests.dir/sparse/test_partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ns_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ns_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/ns_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/snic/CMakeFiles/ns_snic.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/ns_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ns_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/ns_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ns_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/concat/CMakeFiles/ns_concat.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ns_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwcost/CMakeFiles/ns_hwcost.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ns_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
