@@ -34,8 +34,9 @@ runOnce(const Csr &m, const Partition1D &part, ClusterConfig cfg,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initObservability(argc, argv);
     std::uint32_t nodes = benchNodes();
     double scale = benchScale(1.0);
     banner("Design-choice and extension ablations",

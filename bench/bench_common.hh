@@ -18,10 +18,39 @@
 #include <string>
 #include <vector>
 
+#include "sim/stats_export.hh"
+#include "sim/trace.hh"
 #include "sparse/generators.hh"
 #include "sparse/partition.hh"
 
 namespace netsparse::bench {
+
+/**
+ * Wire the shared observability flags into a bench binary: every bench
+ * accepts `--trace-out FILE` (Chrome-trace/Perfetto event trace) and
+ * `--stats-json FILE` (JSON snapshot of every cluster run's stats
+ * registry, one "runs[]" entry per runGather). The environment
+ * variables NETSPARSE_TRACE_OUT / NETSPARSE_STATS_JSON are honored as
+ * fallbacks so CI can collect artifacts without touching command
+ * lines. Outputs are finalized at process exit. See
+ * docs/observability.md for the schemas.
+ */
+inline void
+initObservability(int argc, char **argv)
+{
+    const char *trace = std::getenv("NETSPARSE_TRACE_OUT");
+    const char *stats = std::getenv("NETSPARSE_STATS_JSON");
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--trace-out")
+            trace = argv[i + 1];
+        else if (std::string(argv[i]) == "--stats-json")
+            stats = argv[i + 1];
+    }
+    if (trace && *trace)
+        TraceWriter::instance().open(trace);
+    if (stats && *stats)
+        StatsExport::instance().setOutputPath(stats);
+}
 
 /** Scale factor for benchmark matrices (env NETSPARSE_BENCH_SCALE). */
 inline double

@@ -13,8 +13,9 @@ using namespace netsparse;
 using namespace netsparse::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initObservability(argc, argv);
     banner("Ideal SAOpt goodput vs cores per node", "Figure 10");
     BaselineParams p;
 

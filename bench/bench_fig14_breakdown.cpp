@@ -18,8 +18,9 @@ using namespace netsparse;
 using namespace netsparse::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initObservability(argc, argv);
     std::uint32_t nodes = benchNodes();
     double scale = benchScale(2.0);
     const std::uint32_t k = 16;

@@ -16,8 +16,9 @@ using namespace netsparse;
 using namespace netsparse::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initObservability(argc, argv);
     std::uint32_t nodes = benchNodes();
     double scale = benchScale(1.0);
     const std::uint32_t k = 16;

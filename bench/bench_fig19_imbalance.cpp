@@ -17,8 +17,9 @@ using namespace netsparse;
 using namespace netsparse::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initObservability(argc, argv);
     std::uint32_t nodes = benchNodes();
     double scale = benchScale();
     banner("Active nodes vs normalized execution time", "Figure 19");

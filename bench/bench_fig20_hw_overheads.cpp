@@ -38,8 +38,9 @@ printReport(const char *title, const HwReport &r)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initObservability(argc, argv);
     banner("Hardware overheads of the NetSparse extensions",
            "Figure 20 and Table 9");
 

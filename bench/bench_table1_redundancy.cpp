@@ -21,8 +21,9 @@ using namespace netsparse;
 using namespace netsparse::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initObservability(argc, argv);
     banner("Useful vs redundant property transfers (SU and SA)",
            "Table 1");
     std::uint32_t nodes = benchNodes();

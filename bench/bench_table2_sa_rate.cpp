@@ -16,8 +16,9 @@ using namespace netsparse;
 using namespace netsparse::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initObservability(argc, argv);
     banner("Naive SA transfer rate on 2 nodes (K=32)", "Table 2");
     double scale = benchScale();
     NaiveSaParams p;

@@ -17,8 +17,9 @@ using namespace netsparse;
 using namespace netsparse::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initObservability(argc, argv);
     banner("Header share of SA traffic vs property width", "Table 3");
     ProtocolParams proto;
 

@@ -15,8 +15,9 @@ using namespace netsparse;
 using namespace netsparse::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initObservability(argc, argv);
     banner("Temporal remote destination locality", "Table 4");
     std::uint32_t nodes = benchNodes();
     double scale = benchScale();

@@ -19,8 +19,9 @@ using namespace netsparse;
 using namespace netsparse::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initObservability(argc, argv);
     std::uint32_t nodes = benchNodes();
     double scale = benchScale(1.0);
     banner("Cumulative ablation vs SUOpt", "Table 8");

@@ -23,6 +23,9 @@
  *     --cache-bytes B      Property Cache capacity per ToR
  *     --partition P        rows|nnz                      (default rows)
  *     --stats              dump the full stats registry
+ *     --stats-json FILE    write a JSON stats snapshot (the
+ *                          docs/observability.md metrics contract)
+ *     --trace-out FILE     capture a Chrome-trace/Perfetto event trace
  */
 
 #include <cstdio>
@@ -33,6 +36,8 @@
 
 #include "runtime/cluster.hh"
 #include "sim/stats.hh"
+#include "sim/stats_export.hh"
+#include "sim/trace.hh"
 #include "sparse/generators.hh"
 #include "sparse/mmio.hh"
 
@@ -50,7 +55,8 @@ usage(const char *argv0)
                  "dragonfly]\n"
                  "  [--batch B] [--adaptive] [--virtual-cqs] "
                  "[--no-cache]\n"
-                 "  [--cache-bytes B] [--partition rows|nnz] [--stats]\n",
+                 "  [--cache-bytes B] [--partition rows|nnz] [--stats]\n"
+                 "  [--stats-json FILE] [--trace-out FILE]\n",
                  argv0);
     std::exit(2);
 }
@@ -71,6 +77,7 @@ main(int argc, char **argv)
     std::uint64_t cache_bytes = 0;
     std::string partition = "rows";
     bool dump_stats = false;
+    std::string stats_json, trace_out;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -105,6 +112,10 @@ main(int argc, char **argv)
             partition = next();
         else if (a == "--stats")
             dump_stats = true;
+        else if (a == "--stats-json")
+            stats_json = next();
+        else if (a == "--trace-out")
+            trace_out = next();
         else
             usage(argv[0]);
     }
@@ -162,8 +173,16 @@ main(int argc, char **argv)
                 matrix_arg.c_str(), m.rows, m.cols, m.nnz(), nodes, k,
                 topology.c_str());
 
+    if (!stats_json.empty())
+        StatsExport::instance().setOutputPath(stats_json);
+    if (!trace_out.empty() && !TraceWriter::instance().open(trace_out))
+        return 1;
+
     ClusterSim sim(cfg);
     GatherRunResult r = sim.runGather(m, part, k);
+
+    TraceWriter::instance().close();
+    StatsExport::instance().writeFile();
 
     if (dump_stats) {
         StatRegistry reg;

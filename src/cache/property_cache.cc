@@ -127,4 +127,20 @@ PropertyCache::resetStats()
     lookups_ = hits_ = inserts_ = evictions_ = duplicateInserts_ = 0;
 }
 
+void
+PropertyCache::exportStats(StatRegistry &reg,
+                           const std::string &prefix) const
+{
+    reg.set(prefix + ".lookups", static_cast<double>(lookups_));
+    reg.set(prefix + ".hits", static_cast<double>(hits_));
+    reg.set(prefix + ".hitRate", hitRate());
+    reg.set(prefix + ".inserts", static_cast<double>(inserts_));
+    reg.set(prefix + ".evictions", static_cast<double>(evictions_));
+    reg.set(prefix + ".duplicateInserts",
+            static_cast<double>(duplicateInserts_));
+    reg.set(prefix + ".capacityEntries",
+            static_cast<double>(capacityEntries()));
+    reg.set(prefix + ".lineBytes", static_cast<double>(lineBytes_));
+}
+
 } // namespace netsparse

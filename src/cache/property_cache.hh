@@ -19,8 +19,10 @@
 #define NETSPARSE_CACHE_PROPERTY_CACHE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace netsparse {
@@ -102,6 +104,12 @@ class PropertyCache
     }
 
     void resetStats();
+
+    /**
+     * Register every counter under "<prefix>." (the docs/observability.md
+     * property-cache contract, e.g. "tor0.cache.hits").
+     */
+    void exportStats(StatRegistry &reg, const std::string &prefix) const;
 
   private:
     struct Way

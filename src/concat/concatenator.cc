@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace netsparse {
 
-Concatenator::Concatenator(EventQueue &eq, ConcatConfig cfg, Emit emit)
-    : eq_(eq), cfg_(cfg), emit_(std::move(emit))
+Concatenator::Concatenator(EventQueue &eq, ConcatConfig cfg, Emit emit,
+                           std::string name)
+    : eq_(eq), cfg_(cfg), emit_(std::move(emit)), name_(std::move(name))
 {
     ns_assert(emit_, "concatenator needs an emit sink");
     if (cfg_.virtualized) {
@@ -51,7 +53,7 @@ Concatenator::evictForSpace()
             victim = &cq;
     }
     ns_assert(victim, "physical CQ pool exhausted with no occupant");
-    flush(*victim);
+    flush(*victim, "flush.evict");
 }
 
 void
@@ -76,7 +78,7 @@ Concatenator::push(PropertyRequest &&pr, NodeId dest)
     // A PR that does not fit forces the CQ's current content out first.
     if (cq.bytes + pr_bytes > capacity) {
         ++flushesByFill_;
-        flush(cq);
+        flush(cq, "flush.fill");
     }
 
     if (cfg_.virtualized) {
@@ -109,7 +111,7 @@ Concatenator::push(PropertyRequest &&pr, NodeId dest)
     // less than that much room left can only be flushed; do it eagerly.
     if (cq.bytes + cfg_.proto.prHeaderBytes > capacity) {
         ++flushesByFill_;
-        flush(cq);
+        flush(cq, "flush.fill");
     }
 }
 
@@ -119,7 +121,7 @@ Concatenator::arm(Cq &cq)
     if (cfg_.delay == 0) {
         // Degenerate configuration: PRs never wait; flush immediately.
         ++flushesByExpiry_;
-        flush(cq);
+        flush(cq, "flush.expiry");
         return;
     }
     cq.armed = true;
@@ -133,12 +135,12 @@ Concatenator::arm(Cq &cq)
         if (cqp->generation != generation)
             return;
         ++flushesByExpiry_;
-        flush(*cqp);
+        flush(*cqp, "flush.expiry");
     });
 }
 
 void
-Concatenator::flush(Cq &cq)
+Concatenator::flush(Cq &cq, [[maybe_unused]] const char *reason)
 {
     ++cq.generation; // clears any outstanding EQ entry
     cq.armed = false;
@@ -157,6 +159,12 @@ Concatenator::flush(Cq &cq)
     prsPerPacket_.sample(static_cast<double>(pkt.prs.size()));
     ++packetsEmitted_;
 
+    NS_TRACE(tw.instant(
+        tw.track(name_), reason, eq_.now(),
+        traceArgs({{"prs", static_cast<double>(pkt.prs.size())},
+                   {"bytes", static_cast<double>(cq.bytes)},
+                   {"dest", static_cast<double>(cq.dest)}})));
+
     pendingPrs_ -= pkt.prs.size();
     occupiedBytes_ -= cq.bytes;
     if (cfg_.virtualized)
@@ -174,8 +182,27 @@ Concatenator::flushAll()
 {
     for (auto &[k, cq] : queues_) {
         if (!cq.prs.empty())
-            flush(cq);
+            flush(cq, "flush.drain");
     }
+}
+
+void
+Concatenator::exportStats(StatRegistry &reg,
+                          const std::string &prefix) const
+{
+    reg.set(prefix + ".prsPushed", static_cast<double>(prsPushed_));
+    reg.set(prefix + ".packetsEmitted",
+            static_cast<double>(packetsEmitted_));
+    reg.set(prefix + ".flushesByFill",
+            static_cast<double>(flushesByFill_));
+    reg.set(prefix + ".flushesByExpiry",
+            static_cast<double>(flushesByExpiry_));
+    reg.set(prefix + ".maxEqOccupancy",
+            static_cast<double>(maxEqOccupancy_));
+    reg.set(prefix + ".maxOccupiedBytes",
+            static_cast<double>(maxOccupiedBytes_));
+    reg.setAverage(prefix + ".prsPerPacket", prsPerPacket_);
+    reg.setAverage(prefix + ".prWaitTicks", prWaitTicks_);
 }
 
 std::vector<PropertyRequest>

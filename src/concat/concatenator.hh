@@ -64,8 +64,10 @@ class Concatenator
      * @param eq the event queue driving expirations.
      * @param cfg configuration.
      * @param emit sink invoked with each finished packet.
+     * @param name trace/stats identity (e.g. "node3.snic.concat").
      */
-    Concatenator(EventQueue &eq, ConcatConfig cfg, Emit emit);
+    Concatenator(EventQueue &eq, ConcatConfig cfg, Emit emit,
+                 std::string name = "concat");
 
     /** Accept one PR headed for node @p dest. */
     void push(PropertyRequest &&pr, NodeId dest);
@@ -88,6 +90,13 @@ class Concatenator
     std::uint64_t maxOccupiedBytes() const { return maxOccupiedBytes_; }
     const Average &prsPerPacket() const { return prsPerPacket_; }
     const Average &prWaitTicks() const { return prWaitTicks_; }
+    const std::string &name() const { return name_; }
+
+    /**
+     * Register every counter under "<prefix>." (the docs/observability.md
+     * concatenator contract).
+     */
+    void exportStats(StatRegistry &reg, const std::string &prefix) const;
 
   private:
     struct Cq
@@ -108,7 +117,7 @@ class Concatenator
     }
 
     void emitSolo(PropertyRequest &&pr, NodeId dest);
-    void flush(Cq &cq);
+    void flush(Cq &cq, const char *reason);
     void arm(Cq &cq);
     /** Bytes the pool must hold for @p cq's current content. */
     std::uint32_t physicalBlocks(std::uint32_t bytes) const;
@@ -118,6 +127,7 @@ class Concatenator
     EventQueue &eq_;
     ConcatConfig cfg_;
     Emit emit_;
+    std::string name_;
 
     std::unordered_map<std::uint64_t, Cq> queues_;
     std::uint64_t pendingPrs_ = 0;

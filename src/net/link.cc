@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace netsparse {
 
@@ -30,8 +31,15 @@ Link::send(Packet &&pkt)
     bytes_ += wire;
     payloadBytes_ += pkt.payloadBytes();
 
+    NS_TRACE(tw.complete(
+        tw.track(name_), "tx", start, busyUntil_,
+        traceArgs({{"bytes", static_cast<double>(wire)},
+                   {"prs", static_cast<double>(pkt.prs.size())},
+                   {"dest", static_cast<double>(pkt.dest)}})));
+
     if (dropFilter_ && dropFilter_(pkt)) {
         ++dropped_;
+        NS_TRACE(tw.instant(tw.track(name_), "drop", busyUntil_));
         return;
     }
 

@@ -1,6 +1,7 @@
 #include "net/switch.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace netsparse {
 
@@ -50,7 +51,8 @@ Switch::configureForKernel(std::uint32_t prop_bytes)
     for (std::uint32_t p = 0; p < pipes; ++p) {
         concats_.push_back(std::make_unique<Concatenator>(
             eq_, cfg_.concat,
-            [this](Packet &&pkt) { forward(std::move(pkt)); }));
+            [this](Packet &&pkt) { forward(std::move(pkt)); },
+            name_ + ".pipe" + std::to_string(p) + ".concat"));
     }
 }
 
@@ -60,6 +62,10 @@ Switch::receivePacket(Packet &&pkt, std::uint32_t in_port)
     Tick delay = cfg_.pipelineLatency;
     if (cfg_.netsparseEnabled)
         delay += cacheLatency_;
+    NS_TRACE(tw.complete(
+        tw.track(name_), "pipe", eq_.now(), eq_.now() + delay,
+        traceArgs({{"prs", static_cast<double>(pkt.prs.size())},
+                   {"inPort", static_cast<double>(in_port)}})));
     auto holder = std::make_shared<Packet>(std::move(pkt));
     eq_.scheduleIn(delay, [this, holder, in_port]() mutable {
         if (cfg_.netsparseEnabled)
@@ -92,6 +98,9 @@ Switch::processMiddlePipe(Packet &&pkt, std::uint32_t in_port)
 
     NodeId pkt_dest = pkt.dest;
     std::vector<PropertyRequest> prs = deconcatenate(std::move(pkt));
+    NS_TRACE(tw.instant(
+        tw.track(name_), "deconcat", eq_.now(),
+        traceArgs({{"prs", static_cast<double>(prs.size())}})));
     for (auto &pr : prs) {
         if (pr.type == PrType::Read && from_host && !egress_host) {
             // A read leaving the rack: try to serve it locally.
@@ -101,14 +110,33 @@ Switch::processMiddlePipe(Packet &&pkt, std::uint32_t in_port)
                 pr.payloadBytes = pr.propBytes;
                 pr.checksum = csum;
                 ++servedByCache_;
+                NS_TRACE(tw.instant(
+                    tw.track(name_), "cache.hit", eq_.now(),
+                    traceArgs(
+                        {{"idx", static_cast<double>(pr.idx)}})));
                 NodeId back = pr.src;
                 concat.push(std::move(pr), back);
                 continue;
             }
+            NS_TRACE(tw.instant(
+                tw.track(name_), "cache.miss", eq_.now(),
+                traceArgs({{"idx", static_cast<double>(pr.idx)}})));
         } else if (pr.type == PrType::Response && !from_host &&
                    egress_host) {
             // A response entering the rack: remember it for neighbors.
-            cache.insert(pr.idx, pr.checksum);
+            [[maybe_unused]] std::uint64_t evictionsBefore =
+                cache.evictions();
+            [[maybe_unused]] bool written =
+                cache.insert(pr.idx, pr.checksum);
+            NS_TRACE(
+                if (written) tw.instant(
+                    tw.track(name_),
+                    cache.evictions() > evictionsBefore
+                        ? "cache.evict"
+                        : "cache.insert",
+                    eq_.now(),
+                    traceArgs({{"idx",
+                                static_cast<double>(pr.idx)}})));
         }
         concat.push(std::move(pr), pkt_dest);
     }
@@ -149,6 +177,66 @@ Switch::cacheInserts() const
     for (const auto &c : caches_)
         n += c->inserts();
     return n;
+}
+
+std::uint64_t
+Switch::cacheEvictions() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : caches_)
+        n += c->evictions();
+    return n;
+}
+
+void
+Switch::exportStats(StatRegistry &reg, const std::string &prefix) const
+{
+    reg.set(prefix + ".packetsForwarded",
+            static_cast<double>(forwarded_));
+    if (!cfg_.netsparseEnabled)
+        return;
+    reg.set(prefix + ".prsServedByCache",
+            static_cast<double>(servedByCache_));
+    if (caches_.size() == 1) {
+        caches_[0]->exportStats(reg, prefix + ".cache");
+    } else {
+        // Per-pipe caches: export each slice and the aggregate counters.
+        for (std::size_t p = 0; p < caches_.size(); ++p)
+            caches_[p]->exportStats(
+                reg, prefix + ".pipe" + std::to_string(p) + ".cache");
+        reg.set(prefix + ".cache.lookups",
+                static_cast<double>(cacheLookups()));
+        reg.set(prefix + ".cache.hits",
+                static_cast<double>(cacheHits()));
+        reg.set(prefix + ".cache.hitRate",
+                cacheLookups() ? static_cast<double>(cacheHits()) /
+                                     cacheLookups()
+                               : 0.0);
+        reg.set(prefix + ".cache.inserts",
+                static_cast<double>(cacheInserts()));
+        reg.set(prefix + ".cache.evictions",
+                static_cast<double>(cacheEvictions()));
+    }
+    // Middle-pipe concatenators, aggregated into one "<prefix>.concat".
+    Average prs_per_packet, pr_wait;
+    std::uint64_t pushed = 0, emitted = 0, by_fill = 0, by_expiry = 0;
+    for (const auto &c : concats_) {
+        pushed += c->prsPushed();
+        emitted += c->packetsEmitted();
+        by_fill += c->flushesByFill();
+        by_expiry += c->flushesByExpiry();
+        prs_per_packet.merge(c->prsPerPacket());
+        pr_wait.merge(c->prWaitTicks());
+    }
+    reg.set(prefix + ".concat.prsPushed", static_cast<double>(pushed));
+    reg.set(prefix + ".concat.packetsEmitted",
+            static_cast<double>(emitted));
+    reg.set(prefix + ".concat.flushesByFill",
+            static_cast<double>(by_fill));
+    reg.set(prefix + ".concat.flushesByExpiry",
+            static_cast<double>(by_expiry));
+    reg.setAverage(prefix + ".concat.prsPerPacket", prs_per_packet);
+    reg.setAverage(prefix + ".concat.prWaitTicks", pr_wait);
 }
 
 } // namespace netsparse

@@ -100,8 +100,17 @@ class Switch : public PacketSink
     std::uint64_t cacheLookups() const;
     std::uint64_t cacheHits() const;
     std::uint64_t cacheInserts() const;
+    std::uint64_t cacheEvictions() const;
     std::uint64_t prsServedByCache() const { return servedByCache_; }
     std::uint64_t packetsForwarded() const { return forwarded_; }
+
+    /**
+     * Register this switch's counters under "<prefix>." following the
+     * docs/observability.md contract: "<prefix>.packetsForwarded",
+     * "<prefix>.prsServedByCache", "<prefix>.cache.*" (ToRs with the
+     * extensions) and "<prefix>.concat.*" aggregated over middle pipes.
+     */
+    void exportStats(StatRegistry &reg, const std::string &prefix) const;
 
     /** The middle-pipe Property Cache of pipe @p i (for tests). */
     PropertyCache &pipeCache(std::uint32_t i) { return *caches_[i]; }

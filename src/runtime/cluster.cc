@@ -4,6 +4,7 @@
 
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
+#include "sim/stats_export.hh"
 
 namespace netsparse {
 
@@ -230,6 +231,39 @@ ClusterSim::runGather(const Csr &m, const Partition1D &part,
         r.tailGoodput = static_cast<double>(tail.rxPayloadBytes) /
                         (static_cast<double>(r.commTicks) * line_bpp);
     }
+
+    // --- Detailed observability snapshot (--stats-json) ---
+    // Deposited while the components are still alive, so the snapshot
+    // carries per-RIG-unit, per-concatenator and per-switch-cache
+    // counters that GatherRunResult does not retain.
+    if (StatsExport::instance().enabled()) {
+        StatRegistry &reg = StatsExport::instance().beginRun();
+        r.exportStats(reg);
+        for (NodeId nid = 0; nid < cfg_.numNodes; ++nid) {
+            std::string node = "node" + std::to_string(nid);
+            snics[nid]->exportStats(reg, node + ".snic");
+            const Link *tx = nic_egress[nid];
+            reg.set(node + ".tx.packets",
+                    static_cast<double>(tx->packetsSent()));
+            reg.set(node + ".tx.bytes",
+                    static_cast<double>(tx->bytesSent()));
+            reg.set(node + ".tx.payloadBytes",
+                    static_cast<double>(tx->payloadBytesSent()));
+            reg.set(node + ".tx.busyTicks",
+                    static_cast<double>(tx->busyTicks()));
+            reg.set(node + ".tx.utilization", tx->utilization());
+        }
+        std::uint32_t tors = 0, spines = 0;
+        for (SwitchId sid = 0; sid < topo.numSwitches(); ++sid) {
+            std::string prefix =
+                topo.isTor(sid) ? "tor" + std::to_string(tors++)
+                                : "spine" + std::to_string(spines++);
+            switches[sid]->exportStats(reg, prefix);
+        }
+        reg.set("sim.executedEvents",
+                static_cast<double>(eq.executedEvents()));
+        reg.set("sim.finalTick", static_cast<double>(eq.now()));
+    }
     return r;
 }
 
@@ -270,6 +304,12 @@ GatherRunResult::exportStats(StatRegistry &reg) const
     reg.set("cluster.filtered", filtered);
     reg.set("cluster.coalesced", coalesced);
     reg.set("cluster.idxsProcessed", idxs);
+
+    // Distribution of node finish times (load imbalance, Figure 19).
+    Histogram finish(0.0, ticks::toNs(commTicks) + 1.0, 20);
+    for (const auto &st : nodes)
+        finish.sample(ticks::toNs(st.finishTick));
+    reg.setHistogram("cluster.finishTimeNs", finish);
 }
 
 } // namespace netsparse

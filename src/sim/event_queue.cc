@@ -1,8 +1,17 @@
 #include "sim/event_queue.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace netsparse {
+
+namespace {
+
+/** Dispatch events between event-queue trace samples (keeps traces of
+ *  multi-million-event runs bounded while still showing queue depth). */
+constexpr std::uint64_t traceSampleInterval = 1024;
+
+} // namespace
 
 void
 EventQueue::schedule(Tick when, Callback fn)
@@ -29,6 +38,10 @@ EventQueue::step()
     heap_.pop();
     now_ = e.when;
     ++executed_;
+    if (executed_ % traceSampleInterval == 0) {
+        NS_TRACE(tw.counter(tw.track("sim.eq"), "pendingEvents", now_,
+                            static_cast<double>(heap_.size())));
+    }
     e.fn();
     return true;
 }

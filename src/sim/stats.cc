@@ -45,7 +45,20 @@ StatRegistry::get(const std::string &name) const
 bool
 StatRegistry::has(const std::string &name) const
 {
-    return values_.count(name) != 0;
+    return values_.count(name) != 0 || averages_.count(name) != 0 ||
+           histograms_.count(name) != 0;
+}
+
+void
+StatRegistry::setAverage(const std::string &name, const Average &avg)
+{
+    averages_.insert_or_assign(name, avg);
+}
+
+void
+StatRegistry::setHistogram(const std::string &name, const Histogram &hist)
+{
+    histograms_.insert_or_assign(name, hist);
 }
 
 void

@@ -51,6 +51,22 @@ class Average
     double max() const { return count_ ? max_ : 0.0; }
     void reset() { *this = Average(); }
 
+    /** Fold another accumulation into this one (exact). */
+    void
+    merge(const Average &o)
+    {
+        if (o.count_ == 0)
+            return;
+        if (count_ == 0) {
+            *this = o;
+            return;
+        }
+        count_ += o.count_;
+        sum_ += o.sum_;
+        min_ = o.min_ < min_ ? o.min_ : min_;
+        max_ = o.max_ > max_ ? o.max_ : max_;
+    }
+
   private:
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
@@ -83,10 +99,15 @@ class Histogram
 };
 
 /**
- * A registry of named scalar statistics.
+ * A registry of named statistics.
  *
  * Components register values under hierarchical dotted names
- * (e.g. "node3.snic.rig0.prsIssued"); dump() prints them sorted.
+ * (e.g. "node3.snic.rig0.prsIssued"); dump() prints the scalars
+ * sorted. Besides scalars the registry holds snapshots of Average and
+ * Histogram statistics, which keep their structure (count/sum/min/max,
+ * bucket counts) through the JSON export (see sim/stats_export.hh).
+ * The naming contract for everything the simulator exports lives in
+ * docs/observability.md.
  */
 class StatRegistry
 {
@@ -100,16 +121,32 @@ class StatRegistry
     /** Fetch a scalar; returns 0 when absent. */
     double get(const std::string &name) const;
 
-    /** True when the name exists. */
+    /** True when the name exists (any type). */
     bool has(const std::string &name) const;
 
-    /** Print "name value" lines sorted by name. */
+    /** Store a snapshot of an Average under @p name. */
+    void setAverage(const std::string &name, const Average &avg);
+
+    /** Store a snapshot of a Histogram under @p name. */
+    void setHistogram(const std::string &name, const Histogram &hist);
+
+    /** Print "name value" lines sorted by name (scalars only). */
     void dump(std::ostream &os) const;
 
     const std::map<std::string, double> &all() const { return values_; }
+    const std::map<std::string, Average> &averages() const
+    {
+        return averages_;
+    }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
 
   private:
     std::map<std::string, double> values_;
+    std::map<std::string, Average> averages_;
+    std::map<std::string, Histogram> histograms_;
 };
 
 } // namespace netsparse

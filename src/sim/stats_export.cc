@@ -1,0 +1,188 @@
+#include "sim/stats_export.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace netsparse {
+
+namespace {
+
+void
+atexitWrite()
+{
+    StatsExport::instance().writeFile();
+}
+
+/** Print a double the way JSON wants (no inf/nan, full precision). */
+void
+writeNumber(std::ostream &os, double v)
+{
+    if (v != v || v > 1e308 || v < -1e308) {
+        os << "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeStatsJson(const StatRegistry &reg, std::ostream &os)
+{
+    os << "{";
+    bool first = true;
+    auto comma = [&] {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  ";
+    };
+
+    for (const auto &[name, value] : reg.all()) {
+        comma();
+        os << '"' << jsonEscape(name) << "\": {\"type\":\"scalar\","
+           << "\"value\":";
+        writeNumber(os, value);
+        os << '}';
+    }
+    for (const auto &[name, avg] : reg.averages()) {
+        comma();
+        os << '"' << jsonEscape(name) << "\": {\"type\":\"average\","
+           << "\"count\":" << avg.count() << ",\"sum\":";
+        writeNumber(os, avg.sum());
+        os << ",\"mean\":";
+        writeNumber(os, avg.mean());
+        os << ",\"min\":";
+        writeNumber(os, avg.min());
+        os << ",\"max\":";
+        writeNumber(os, avg.max());
+        os << '}';
+    }
+    for (const auto &[name, hist] : reg.histograms()) {
+        comma();
+        os << '"' << jsonEscape(name) << "\": {\"type\":\"histogram\","
+           << "\"lo\":";
+        writeNumber(os, hist.lo());
+        os << ",\"hi\":";
+        writeNumber(os, hist.hi());
+        os << ",\"total\":" << hist.totalSamples() << ",\"buckets\":[";
+        for (std::size_t b = 0; b < hist.numBuckets(); ++b) {
+            if (b)
+                os << ',';
+            os << hist.bucket(b);
+        }
+        os << "]}";
+    }
+    os << "\n}";
+}
+
+StatsExport &
+StatsExport::instance()
+{
+    static StatsExport exporter;
+    return exporter;
+}
+
+void
+StatsExport::setOutputPath(const std::string &path)
+{
+    path_ = path;
+    written_ = false;
+
+    static bool atexit_registered = false;
+    if (!atexit_registered) {
+        std::atexit(atexitWrite);
+        atexit_registered = true;
+    }
+}
+
+StatRegistry &
+StatsExport::beginRun(const std::string &label)
+{
+    auto run = std::make_unique<Run>();
+    run->label = label.empty()
+                     ? "gather" + std::to_string(runs_.size())
+                     : label;
+    runs_.push_back(std::move(run));
+    written_ = false;
+    return runs_.back()->registry;
+}
+
+std::string
+StatsExport::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n\"schema\": \"netsparse-stats-v1\",\n\"runs\": [";
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+        if (i)
+            os << ',';
+        os << "\n{\"run\":" << i << ",\"label\":\""
+           << jsonEscape(runs_[i]->label) << "\",\"stats\":";
+        writeStatsJson(runs_[i]->registry, os);
+        os << '}';
+    }
+    os << "\n]\n}\n";
+    return os.str();
+}
+
+void
+StatsExport::writeFile()
+{
+    if (path_.empty() || written_)
+        return;
+    std::ofstream os(path_);
+    if (!os) {
+        ns_warn("cannot write stats output ", path_);
+        return;
+    }
+    os << toJson();
+    written_ = true;
+}
+
+void
+StatsExport::reset()
+{
+    runs_.clear();
+    path_.clear();
+    written_ = false;
+}
+
+} // namespace netsparse

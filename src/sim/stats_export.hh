@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Machine-readable export of the statistics registry.
+ *
+ * writeStatsJson() serializes one StatRegistry as a JSON object mapping
+ * each stat name to a typed record:
+ *
+ *   scalar:    {"type":"scalar","value":V}
+ *   average:   {"type":"average","count":N,"sum":S,"mean":M,
+ *               "min":lo,"max":hi}
+ *   histogram: {"type":"histogram","lo":L,"hi":H,"total":N,
+ *               "buckets":[underflow, b0, ..., bk, overflow]}
+ *
+ * StatsExport is the process-wide collector behind the --stats-json
+ * flag (and the NETSPARSE_STATS_JSON environment variable): every
+ * ClusterSim::runGather() deposits a full registry snapshot into it,
+ * and the collector writes all runs as one document
+ *
+ *   {"schema":"netsparse-stats-v1",
+ *    "runs":[{"run":0,"label":"gather0","stats":{...}}, ...]}
+ *
+ * either explicitly via writeFile() or automatically at process exit.
+ * The stat naming contract is documented in docs/observability.md.
+ */
+
+#ifndef NETSPARSE_SIM_STATS_EXPORT_HH
+#define NETSPARSE_SIM_STATS_EXPORT_HH
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace netsparse {
+
+/** Escape a string for inclusion in a JSON document. */
+std::string jsonEscape(const std::string &s);
+
+/** Serialize @p reg as one JSON object (the "stats" value above). */
+void writeStatsJson(const StatRegistry &reg, std::ostream &os);
+
+/** The process-wide stats collector. */
+class StatsExport
+{
+  public:
+    static StatsExport &instance();
+
+    StatsExport(const StatsExport &) = delete;
+    StatsExport &operator=(const StatsExport &) = delete;
+
+    /**
+     * Enable collection; the document is written to @p path by
+     * writeFile(), which is also registered atexit.
+     */
+    void setOutputPath(const std::string &path);
+
+    /** True once an output path is configured. */
+    bool enabled() const { return !path_.empty(); }
+
+    /**
+     * Open a new run section labelled @p label (auto-labelled
+     * "gather<N>" when empty) and return its registry to fill.
+     */
+    StatRegistry &beginRun(const std::string &label = {});
+
+    /** The whole document as a JSON string. */
+    std::string toJson() const;
+
+    /** Write the document to the configured path. */
+    void writeFile();
+
+    /** Drop collected runs and disable (tests / repeated tools). */
+    void reset();
+
+    std::size_t numRuns() const { return runs_.size(); }
+
+  private:
+    StatsExport() = default;
+
+    struct Run
+    {
+        std::string label;
+        StatRegistry registry;
+    };
+
+    std::string path_;
+    std::vector<std::unique_ptr<Run>> runs_;
+    bool written_ = false;
+};
+
+} // namespace netsparse
+
+#endif // NETSPARSE_SIM_STATS_EXPORT_HH

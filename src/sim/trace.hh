@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Event tracing in the Chrome trace_events ("Perfetto") JSON format.
+ *
+ * The TraceWriter is a process-wide singleton that components feed with
+ * instant, duration ("complete") and counter events keyed by a track
+ * (one per component name, rendered as a thread row in Perfetto) and a
+ * tick-derived timestamp. Events are buffered, sorted by timestamp and
+ * written as one JSON document on close(), so the output always loads
+ * in ui.perfetto.dev or chrome://tracing regardless of the order spans
+ * retire in.
+ *
+ * Overhead discipline: tracing costs one inlined boolean test per
+ * instrumentation site when disabled at runtime, and compiles away
+ * entirely when NETSPARSE_TRACING_ENABLED is defined to 0 (CMake option
+ * NETSPARSE_DISABLE_TRACING). Hot per-idx paths are never traced
+ * individually; they aggregate into chunk-level events.
+ *
+ * See docs/observability.md for the event schema and a Perfetto
+ * walkthrough.
+ */
+
+#ifndef NETSPARSE_SIM_TRACE_HH
+#define NETSPARSE_SIM_TRACE_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+#ifndef NETSPARSE_TRACING_ENABLED
+#define NETSPARSE_TRACING_ENABLED 1
+#endif
+
+namespace netsparse {
+
+/**
+ * Render a trace-event argument dictionary body ("k1":v1,"k2":v2) from
+ * numeric key/value pairs. Only built when a trace is being captured,
+ * so the std::string cost is off the simulation fast path.
+ */
+std::string
+traceArgs(std::initializer_list<std::pair<const char *, double>> kvs);
+
+/** The process-wide trace sink. */
+class TraceWriter
+{
+  public:
+    static TraceWriter &instance();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /**
+     * Start capturing and arrange for the trace to land at @p path
+     * (written on close(), which also runs atexit as a safety net).
+     * @return false when the path is not writable.
+     */
+    bool open(const std::string &path);
+
+    /** Sort, write and clear the capture; disables further capture. */
+    void close();
+
+    /** True while a capture is active (the per-site fast-path test). */
+    bool enabled() const { return enabled_; }
+
+    /**
+     * The track (Perfetto thread row) for a component name. Tracks are
+     * created on first use; the name is emitted as thread_name metadata.
+     */
+    std::uint32_t track(const std::string &name);
+
+    /** A point event at @p ts on @p track. */
+    void instant(std::uint32_t track, const char *name, Tick ts,
+                 std::string args = {});
+
+    /** A span [@p start, @p end] on @p track. */
+    void complete(std::uint32_t track, const char *name, Tick start,
+                  Tick end, std::string args = {});
+
+    /** A sampled counter value at @p ts (rendered as a graph row). */
+    void counter(std::uint32_t track, const char *name, Tick ts,
+                 double value);
+
+    /** Events captured so far (for tests). */
+    std::size_t eventCount() const { return events_.size(); }
+
+  private:
+    TraceWriter() = default;
+
+    struct Event
+    {
+        Tick ts;
+        Tick dur;       // complete events only
+        char ph;        // 'i', 'X' or 'C'
+        std::uint32_t tid;
+        const char *name; // string literal owned by the caller
+        std::string args;
+        double value; // counter events only
+    };
+
+    void writeEvents(std::FILE *f);
+
+    bool enabled_ = false;
+    std::string path_;
+    std::vector<Event> events_;
+    std::unordered_map<std::string, std::uint32_t> tracks_;
+    std::vector<std::string> trackNames_;
+};
+
+} // namespace netsparse
+
+/**
+ * NS_TRACE(stmts...): run the instrumentation statements only while a
+ * capture is active; `tw` names the writer inside the body. Compiles to
+ * nothing when tracing is disabled at build time.
+ */
+#if NETSPARSE_TRACING_ENABLED
+/** True while a capture is active (for instrumentation-only setup). */
+#define NS_TRACE_ON() (::netsparse::TraceWriter::instance().enabled())
+#define NS_TRACE(...)                                                       \
+    do {                                                                    \
+        ::netsparse::TraceWriter &tw =                                      \
+            ::netsparse::TraceWriter::instance();                           \
+        if (tw.enabled()) {                                                 \
+            __VA_ARGS__;                                                    \
+        }                                                                   \
+    } while (0)
+#else
+#define NS_TRACE_ON() false
+#define NS_TRACE(...)                                                       \
+    do {                                                                    \
+    } while (0)
+#endif
+
+#endif // NETSPARSE_SIM_TRACE_HH

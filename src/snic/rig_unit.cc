@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace netsparse {
 
@@ -12,6 +13,13 @@ RigClientUnit::RigClientUnit(EventQueue &eq, const RigUnitConfig &cfg,
     : eq_(eq), cfg_(cfg), ctx_(ctx), tid_(tid), clock_(cfg.clockHz),
       pending_(cfg.pendingCapacity)
 {}
+
+std::uint32_t
+RigClientUnit::traceTrack() const
+{
+    return TraceWriter::instance().track(ctx_.nodeName() + ".rig" +
+                                         std::to_string(tid_));
+}
 
 void
 RigClientUnit::start(RigCommand cmd)
@@ -28,6 +36,12 @@ RigClientUnit::start(RigCommand cmd)
     lastWriteDone_ = eq_.now();
     ++epoch_;
     ++stats_.commands;
+
+    NS_TRACE(tw.instant(
+        traceTrack(), "cmd.start", eq_.now(),
+        traceArgs({{"idxs", static_cast<double>(cmd_.count)},
+                   {"commandId",
+                    static_cast<double>(cmd_.commandId)}})));
 
     // DMA the idx batch from host memory into the Idx Buffer. Refills
     // during processing are double-buffered and fully hidden (16 ns of
@@ -70,7 +84,17 @@ RigClientUnit::processChunk()
     if (!active_)
         return;
 
+    [[maybe_unused]] const Tick chunk_start = eq_.now();
+    [[maybe_unused]] RigClientStats before;
+    if (NS_TRACE_ON())
+        before = stats_;
     std::uint32_t consumed = 0;
+    enum class Stall
+    {
+        None,
+        Pending,
+        Tx,
+    } stall = Stall::None;
     while (consumed < cfg_.chunkPerEvent && nextIdx_ < cmd_.count) {
         PropIdx idx = cmd_.idxs[nextIdx_];
         ++consumed; // one pipeline slot per examined idx
@@ -98,15 +122,16 @@ RigClientUnit::processChunk()
         if (pending_.full()) {
             // Stall until a response frees an entry.
             ++stats_.pendingStalls;
-            waitingForPending_ = true;
-            return; // resumed by onResponse
-
+            NS_TRACE(tw.instant(traceTrack(), "stall.pending",
+                                eq_.now()));
+            stall = Stall::Pending;
+            break; // resumed by onResponse
         }
         if (ctx_.txBackpressured()) {
             ++stats_.txStalls;
-            scheduleChunk(eq_.now() + clock_.cycles(consumed) +
-                          cfg_.txRetryInterval);
-            return;
+            NS_TRACE(tw.instant(traceTrack(), "stall.tx", eq_.now()));
+            stall = Stall::Tx;
+            break;
         }
 
         pending_.insert(idx);
@@ -124,6 +149,30 @@ RigClientUnit::processChunk()
         pr.propBytes = cmd_.propBytes;
         pr.payloadBytes = 0;
         ctx_.sendPr(std::move(pr), dest);
+    }
+
+    NS_TRACE(
+        if (consumed) tw.complete(
+            traceTrack(), "chunk", chunk_start,
+            chunk_start + clock_.cycles(consumed),
+            traceArgs(
+                {{"idxs", static_cast<double>(consumed)},
+                 {"issued", static_cast<double>(stats_.prsIssued -
+                                                before.prsIssued)},
+                 {"filtered", static_cast<double>(stats_.filtered -
+                                                  before.filtered)},
+                 {"coalesced",
+                  static_cast<double>(stats_.coalesced -
+                                      before.coalesced)}})));
+
+    if (stall == Stall::Pending) {
+        waitingForPending_ = true;
+        return; // resumed by onResponse
+    }
+    if (stall == Stall::Tx) {
+        scheduleChunk(eq_.now() + clock_.cycles(consumed) +
+                      cfg_.txRetryInterval);
+        return;
     }
 
     if (nextIdx_ < cmd_.count) {
@@ -176,6 +225,9 @@ RigClientUnit::maybeComplete()
 void
 RigClientUnit::finish(bool success)
 {
+    NS_TRACE(tw.instant(traceTrack(),
+                        success ? "cmd.done" : "cmd.watchdogFail",
+                        eq_.now()));
     active_ = false;
     ++epoch_;
     auto cb = std::move(cmd_.onComplete);

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "net/protocol.hh"
 #include "sim/event_queue.hh"
@@ -91,6 +92,14 @@ class SnicContext
     virtual IdxFilter &idxFilter() = 0;
     /** The host-SNIC PCIe connection. */
     virtual PcieModel &pcie() = 0;
+
+    /** Trace/stats identity of the owning SNIC (e.g. "node3.snic"). */
+    virtual const std::string &
+    nodeName() const
+    {
+        static const std::string fallback = "snic";
+        return fallback;
+    }
 };
 
 /** Statistics of one client RIG unit. */
@@ -129,8 +138,13 @@ class RigClientUnit
 
     const RigClientStats &stats() const { return stats_; }
 
+    /** The unit's Pending PR Table (occupancy statistics). */
+    const PendingPrTable &pendingTable() const { return pending_; }
+
   private:
     void scheduleChunk(Tick when);
+    /** Trace track for this unit ("<node>.rig<tid>"). */
+    std::uint32_t traceTrack() const;
     void processChunk();
     void maybeComplete();
     void finish(bool success);

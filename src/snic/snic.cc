@@ -1,6 +1,7 @@
 #include "snic/snic.hh"
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace netsparse {
 
@@ -21,10 +22,12 @@ Snic::Snic(EventQueue &eq, SnicConfig cfg, NodeId self,
             eq_, cfg_.rigUnit, *this, static_cast<std::uint16_t>(s)));
     }
     concat_ = std::make_unique<Concatenator>(
-        eq_, cfg_.concat, [this](Packet &&pkt) {
+        eq_, cfg_.concat,
+        [this](Packet &&pkt) {
             ns_assert(egress_, "SNIC ", name_, " has no egress link");
             egress_->send(std::move(pkt));
-        });
+        },
+        name_ + ".concat");
 }
 
 void
@@ -68,6 +71,12 @@ Snic::receivePacket(Packet &&pkt, std::uint32_t in_port)
     ++rxPackets_;
     rxBytes_ += pkt.wireBytes(cfg_.proto);
     rxPayloadBytes_ += pkt.payloadBytes();
+
+    NS_TRACE(tw.instant(
+        tw.track(name_), "rx", eq_.now(),
+        traceArgs({{"bytes", static_cast<double>(
+                                 pkt.wireBytes(cfg_.proto))},
+                   {"prs", static_cast<double>(pkt.prs.size())}})));
 
     for (auto &pr : deconcatenate(std::move(pkt))) {
         if (pr.type == PrType::Response) {
@@ -117,6 +126,55 @@ Snic::aggregateServerStats() const
         out.bytesFetched += s->stats().bytesFetched;
     }
     return out;
+}
+
+void
+Snic::exportStats(StatRegistry &reg, const std::string &prefix) const
+{
+    std::uint64_t filter_hits = 0;
+    for (std::size_t c = 0; c < clients_.size(); ++c) {
+        const RigClientStats &s = clients_[c]->stats();
+        std::string rig = prefix + ".rig" + std::to_string(c);
+        reg.set(rig + ".commands", static_cast<double>(s.commands));
+        reg.set(rig + ".idxsProcessed",
+                static_cast<double>(s.idxsProcessed));
+        reg.set(rig + ".localIdxs", static_cast<double>(s.localIdxs));
+        reg.set(rig + ".prsIssued", static_cast<double>(s.prsIssued));
+        reg.set(rig + ".filtered", static_cast<double>(s.filtered));
+        reg.set(rig + ".coalesced", static_cast<double>(s.coalesced));
+        reg.set(rig + ".responses", static_cast<double>(s.responses));
+        reg.set(rig + ".staleResponses",
+                static_cast<double>(s.staleResponses));
+        reg.set(rig + ".pendingStalls",
+                static_cast<double>(s.pendingStalls));
+        reg.set(rig + ".txStalls", static_cast<double>(s.txStalls));
+        reg.set(rig + ".watchdogFailures",
+                static_cast<double>(s.watchdogFailures));
+        reg.set(rig + ".pendingMaxOccupancy",
+                static_cast<double>(
+                    clients_[c]->pendingTable().maxOccupancy()));
+        filter_hits += s.filtered;
+    }
+    reg.set(prefix + ".idxFilter.hits",
+            static_cast<double>(filter_hits));
+    reg.set(prefix + ".idxFilter.sizeBytes",
+            static_cast<double>(filter_.sizeBytes()));
+
+    RigServerStats server = aggregateServerStats();
+    reg.set(prefix + ".server.readsServed",
+            static_cast<double>(server.readsServed));
+    reg.set(prefix + ".server.bytesFetched",
+            static_cast<double>(server.bytesFetched));
+
+    concat_->exportStats(reg, prefix + ".concat");
+
+    reg.set(prefix + ".rx.packets", static_cast<double>(rxPackets_));
+    reg.set(prefix + ".rx.bytes", static_cast<double>(rxBytes_));
+    reg.set(prefix + ".rx.payloadBytes",
+            static_cast<double>(rxPayloadBytes_));
+    reg.set(prefix + ".rx.responses",
+            static_cast<double>(rxResponses_));
+    reg.set(prefix + ".rx.reads", static_cast<double>(rxReads_));
 }
 
 } // namespace netsparse

@@ -87,11 +87,19 @@ class Snic : public PacketSink, public SnicContext
     bool txBackpressured() const override;
     IdxFilter &idxFilter() override { return filter_; }
     PcieModel &pcie() override { return pcie_; }
+    const std::string &nodeName() const override { return name_; }
 
     // --- Statistics ---
 
     RigClientStats aggregateClientStats() const;
     RigServerStats aggregateServerStats() const;
+
+    /**
+     * Register per-RIG-unit, Idx-Filter, concatenator and rx counters
+     * under "<prefix>." (the docs/observability.md SNIC contract, e.g.
+     * "node3.snic.rig0.prsIssued").
+     */
+    void exportStats(StatRegistry &reg, const std::string &prefix) const;
     const Concatenator &concatenator() const { return *concat_; }
     std::uint64_t rxPackets() const { return rxPackets_; }
     std::uint64_t rxBytes() const { return rxBytes_; }

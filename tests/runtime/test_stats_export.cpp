@@ -4,7 +4,9 @@
 
 #include <sstream>
 
+#include "../support/json_lite.hh"
 #include "runtime/cluster.hh"
+#include "sim/stats_export.hh"
 #include "sparse/generators.hh"
 
 using namespace netsparse;
@@ -75,4 +77,116 @@ TEST(StatsExport, DumpIsParseable)
     while (in >> name >> value)
         ++lines;
     EXPECT_EQ(static_cast<std::size_t>(lines), reg.all().size());
+}
+
+TEST(StatsExport, JsonRoundTripsEveryRegisteredStat)
+{
+    GatherRunResult r = smallRun();
+    StatRegistry reg;
+    r.exportStats(reg);
+
+    Average avg;
+    avg.sample(2.0);
+    avg.sample(6.0);
+    reg.setAverage("test.avg", avg);
+
+    Histogram hist(0.0, 10.0, 5);
+    hist.sample(-1.0); // underflow
+    hist.sample(3.0);
+    hist.sample(3.5);
+    hist.sample(42.0); // overflow
+    reg.setHistogram("test.hist", hist);
+
+    std::ostringstream os;
+    writeStatsJson(reg, os);
+    jsonlite::Value doc = jsonlite::parse(os.str());
+    ASSERT_TRUE(doc.isObject());
+
+    // Every scalar comes back with its exact value.
+    for (const auto &[stat_name, stat_value] : reg.all()) {
+        ASSERT_TRUE(doc.has(stat_name)) << stat_name;
+        const jsonlite::Value &e = doc.at(stat_name);
+        EXPECT_EQ(e.at("type").string, "scalar") << stat_name;
+        EXPECT_DOUBLE_EQ(e.at("value").number, stat_value) << stat_name;
+    }
+
+    const jsonlite::Value &a = doc.at("test.avg");
+    EXPECT_EQ(a.at("type").string, "average");
+    EXPECT_DOUBLE_EQ(a.at("count").number, 2.0);
+    EXPECT_DOUBLE_EQ(a.at("sum").number, 8.0);
+    EXPECT_DOUBLE_EQ(a.at("mean").number, 4.0);
+    EXPECT_DOUBLE_EQ(a.at("min").number, 2.0);
+    EXPECT_DOUBLE_EQ(a.at("max").number, 6.0);
+
+    const jsonlite::Value &h = doc.at("test.hist");
+    EXPECT_EQ(h.at("type").string, "histogram");
+    EXPECT_DOUBLE_EQ(h.at("lo").number, 0.0);
+    EXPECT_DOUBLE_EQ(h.at("hi").number, 10.0);
+    EXPECT_DOUBLE_EQ(h.at("total").number, 4.0);
+    const jsonlite::Value &buckets = h.at("buckets");
+    ASSERT_EQ(buckets.array.size(), hist.numBuckets());
+    EXPECT_DOUBLE_EQ(buckets.at(0).number, 1.0); // underflow
+    EXPECT_DOUBLE_EQ(buckets.at(2).number, 2.0); // [2, 4)
+    EXPECT_DOUBLE_EQ(buckets.at(buckets.array.size() - 1).number,
+                     1.0); // overflow
+}
+
+TEST(StatsExport, CollectorDocumentHoldsLabelledRuns)
+{
+    StatsExport &exp = StatsExport::instance();
+    exp.reset();
+    exp.setOutputPath("/dev/null");
+    ASSERT_TRUE(exp.enabled());
+
+    StatRegistry &first = exp.beginRun();
+    first.set("cluster.commTicks", 123.0);
+    StatRegistry &second = exp.beginRun("warmup");
+    second.set("cluster.commTicks", 456.0);
+    EXPECT_EQ(exp.numRuns(), 2u);
+
+    jsonlite::Value doc = jsonlite::parse(exp.toJson());
+    EXPECT_EQ(doc.at("schema").string, "netsparse-stats-v1");
+    const jsonlite::Value &runs = doc.at("runs");
+    ASSERT_EQ(runs.array.size(), 2u);
+    EXPECT_DOUBLE_EQ(runs.at(0).at("run").number, 0.0);
+    EXPECT_EQ(runs.at(0).at("label").string, "gather0");
+    EXPECT_DOUBLE_EQ(
+        runs.at(0).at("stats").at("cluster.commTicks").at("value").number,
+        123.0);
+    EXPECT_EQ(runs.at(1).at("label").string, "warmup");
+    EXPECT_DOUBLE_EQ(
+        runs.at(1).at("stats").at("cluster.commTicks").at("value").number,
+        456.0);
+
+    exp.reset(); // leave the process-wide collector clean for other tests
+    EXPECT_FALSE(exp.enabled());
+}
+
+TEST(StatsExport, RunGatherDepositsDetailedSnapshotWhenEnabled)
+{
+    StatsExport &exp = StatsExport::instance();
+    exp.reset();
+    exp.setOutputPath("/dev/null");
+
+    smallRun();
+    ASSERT_EQ(exp.numRuns(), 1u);
+
+    jsonlite::Value doc = jsonlite::parse(exp.toJson());
+    const jsonlite::Value &stats = doc.at("runs").at(0).at("stats");
+    // The documented naming contract (docs/observability.md): detailed
+    // per-component counters appear alongside the cluster aggregates.
+    for (const char *key :
+         {"cluster.commTicks", "sim.executedEvents", "sim.finalTick",
+          "node0.snic.rig0.prsIssued", "node0.snic.idxFilter.hits",
+          "node0.snic.concat.prsPushed", "node0.tx.bytes",
+          "tor0.cache.hits", "tor0.cache.lookups", "tor0.packetsForwarded",
+          "spine0.packetsForwarded"})
+        EXPECT_TRUE(stats.has(key)) << key;
+
+    EXPECT_EQ(stats.at("node0.snic.concat.prsPerPacket").at("type").string,
+              "average");
+    EXPECT_EQ(stats.at("cluster.finishTimeNs").at("type").string,
+              "histogram");
+
+    exp.reset();
 }
