@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "sim/stats_export.hh"
+#include "sim/sweep.hh"
 #include "sim/trace.hh"
 #include "sparse/generators.hh"
 #include "sparse/partition.hh"
@@ -72,6 +73,28 @@ benchNodes(std::uint32_t fallback = 128)
         return fallback;
     int v = std::atoi(env);
     return v > 1 ? static_cast<std::uint32_t>(v) : fallback;
+}
+
+/** Sweep worker count (env NETSPARSE_BENCH_JOBS, default 1). */
+inline unsigned
+benchJobs()
+{
+    return SweepExecutor::jobsFromEnv();
+}
+
+/**
+ * Evaluate @p n independent sweep points with @p point(i), possibly in
+ * parallel (NETSPARSE_BENCH_JOBS). Points must write their results into
+ * pre-sized per-index storage and print nothing; the caller prints the
+ * table afterwards, so output rows and stats runs appear in the same
+ * order regardless of the worker count. See docs/performance.md.
+ */
+template <typename Fn>
+inline void
+runSweep(std::size_t n, Fn &&point)
+{
+    SweepExecutor exec(benchJobs());
+    exec.run(n, std::function<void(std::size_t)>(std::forward<Fn>(point)));
 }
 
 /** Print a banner naming the experiment. */

@@ -28,41 +28,44 @@ main(int argc, char **argv)
     banner("Communication speedup over SUOpt", "Figure 12");
     std::printf("(%u nodes, matrix scale %.2f)\n\n", nodes, scale);
 
+    const std::uint32_t ks[] = {1, 16, 128};
+    constexpr std::size_t nk = std::size(ks);
     std::printf("%-8s", "matrix");
-    for (std::uint32_t k : {1u, 16u, 128u})
+    for (std::uint32_t k : ks)
         std::printf("   SA(K=%-3u) NS(K=%-3u)", k, k);
     std::printf("\n");
 
-    double gmean_sa[3] = {1, 1, 1}, gmean_ns[3] = {1, 1, 1};
-    int count = 0;
-    for (auto &bm : benchmarkSuite(scale)) {
+    auto suite = benchmarkSuite(scale);
+    std::vector<double> s_sa(suite.size() * nk), s_ns(suite.size() * nk);
+    runSweep(s_sa.size(), [&](std::size_t i) {
+        const auto &bm = suite[i / nk];
+        std::uint32_t k = ks[i % nk];
         Partition1D part = Partition1D::equalRows(bm.matrix.rows, nodes);
-        std::printf("%-8s", bm.name.c_str());
-        int ki = 0;
-        for (std::uint32_t k : {1u, 16u, 128u}) {
-            BaselineParams bp;
-            BaselineResult su = runSuOpt(bm.matrix, part, k, bp);
-            BaselineResult sa = runSaOpt(bm.matrix, part, k, bp);
+        BaselineParams bp;
+        BaselineResult su = runSuOpt(bm.matrix, part, k, bp);
+        BaselineResult sa = runSaOpt(bm.matrix, part, k, bp);
+        ClusterConfig cfg = defaultClusterConfig(nodes);
+        GatherRunResult ns = ClusterSim(cfg).runGather(bm.matrix, part, k);
+        s_sa[i] = static_cast<double>(su.commTicks) / sa.commTicks;
+        s_ns[i] = static_cast<double>(su.commTicks) / ns.commTicks;
+    });
 
-            ClusterConfig cfg = defaultClusterConfig(nodes);
-            GatherRunResult ns =
-                ClusterSim(cfg).runGather(bm.matrix, part, k);
-
-            double s_sa = static_cast<double>(su.commTicks) / sa.commTicks;
-            double s_ns = static_cast<double>(su.commTicks) / ns.commTicks;
-            std::printf("   %8.2fx %8.2fx", s_sa, s_ns);
-            gmean_sa[ki] *= s_sa;
-            gmean_ns[ki] *= s_ns;
-            ++ki;
+    double gmean_sa[nk] = {1, 1, 1}, gmean_ns[nk] = {1, 1, 1};
+    for (std::size_t m = 0; m < suite.size(); ++m) {
+        std::printf("%-8s", suite[m].name.c_str());
+        for (std::size_t ki = 0; ki < nk; ++ki) {
+            std::printf("   %8.2fx %8.2fx", s_sa[m * nk + ki],
+                        s_ns[m * nk + ki]);
+            gmean_sa[ki] *= s_sa[m * nk + ki];
+            gmean_ns[ki] *= s_ns[m * nk + ki];
         }
         std::printf("\n");
-        ++count;
     }
     std::printf("%-8s", "gmean");
-    for (int ki = 0; ki < 3; ++ki) {
+    for (std::size_t ki = 0; ki < nk; ++ki) {
         std::printf("   %8.2fx %8.2fx",
-                    std::pow(gmean_sa[ki], 1.0 / count),
-                    std::pow(gmean_ns[ki], 1.0 / count));
+                    std::pow(gmean_sa[ki], 1.0 / suite.size()),
+                    std::pow(gmean_ns[ki], 1.0 / suite.size()));
     }
     std::printf("\n");
     return 0;

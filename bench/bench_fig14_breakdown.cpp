@@ -29,9 +29,17 @@ main(int argc, char **argv)
     std::printf("(%u nodes, matrix scale %.2f)\n\n", nodes, scale);
 
     ComputeDevice dev = spadeAccelerator();
-    std::printf("%-8s %12s %14s %14s %12s\n", "matrix", "comp(us)",
-                "SAOpt comm", "NS comm", "NS comm/comp");
-    for (auto &bm : benchmarkSuite(scale)) {
+
+    struct Row
+    {
+        Tick comp = 0;
+        Tick saComm = 0;
+        Tick nsComm = 0;
+    };
+    auto suite = benchmarkSuite(scale);
+    std::vector<Row> rows(suite.size());
+    runSweep(rows.size(), [&](std::size_t i) {
+        const auto &bm = suite[i];
         Partition1D part = Partition1D::equalRows(bm.matrix.rows, nodes);
 
         // Tail compute time across nodes.
@@ -46,12 +54,18 @@ main(int argc, char **argv)
         BaselineResult sa = runSaOpt(bm.matrix, part, k, bp);
         ClusterConfig cfg = defaultClusterConfig(nodes);
         GatherRunResult ns = ClusterSim(cfg).runGather(bm.matrix, part, k);
+        rows[i] = Row{comp, sa.commTicks, ns.commTicks};
+    });
 
+    std::printf("%-8s %12s %14s %14s %12s\n", "matrix", "comp(us)",
+                "SAOpt comm", "NS comm", "NS comm/comp");
+    for (std::size_t m = 0; m < suite.size(); ++m) {
+        const Row &r = rows[m];
         std::printf("%-8s %12.1f %11.1f us %11.1f us %11.2f\n",
-                    bm.name.c_str(), ticks::toNs(comp) / 1e3,
-                    ticks::toNs(sa.commTicks) / 1e3,
-                    ticks::toNs(ns.commTicks) / 1e3,
-                    static_cast<double>(ns.commTicks) / comp);
+                    suite[m].name.c_str(), ticks::toNs(r.comp) / 1e3,
+                    ticks::toNs(r.saComm) / 1e3,
+                    ticks::toNs(r.nsComm) / 1e3,
+                    static_cast<double>(r.nsComm) / r.comp);
     }
     return 0;
 }

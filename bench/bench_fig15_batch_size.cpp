@@ -28,27 +28,28 @@ main(int argc, char **argv)
                 k);
 
     const std::uint32_t batches[] = {1024, 4096, 16384, 65536, 262144};
+    constexpr std::size_t nb = std::size(batches);
     std::printf("%-8s", "matrix");
     for (auto b : batches)
         std::printf("%9uk", b / 1024);
     std::printf("\n");
 
-    for (auto &bm : benchmarkSuite(scale)) {
+    auto suite = benchmarkSuite(scale);
+    std::vector<Tick> times(suite.size() * nb);
+    runSweep(times.size(), [&](std::size_t i) {
+        const auto &bm = suite[i / nb];
         Partition1D part = Partition1D::equalRows(bm.matrix.rows, nodes);
-        Tick base = 0;
-        std::vector<Tick> times;
-        for (auto b : batches) {
-            ClusterConfig cfg = defaultClusterConfig(nodes);
-            cfg.host.batchSize = b;
-            GatherRunResult r =
-                ClusterSim(cfg).runGather(bm.matrix, part, k);
-            times.push_back(r.commTicks);
-            if (b == 16384)
-                base = r.commTicks;
-        }
-        std::printf("%-8s", bm.name.c_str());
-        for (auto t : times)
-            std::printf("%9.2fx", static_cast<double>(base) / t);
+        ClusterConfig cfg = defaultClusterConfig(nodes);
+        cfg.host.batchSize = batches[i % nb];
+        times[i] = ClusterSim(cfg).runGather(bm.matrix, part, k).commTicks;
+    });
+
+    for (std::size_t m = 0; m < suite.size(); ++m) {
+        Tick base = times[m * nb + 2]; // the 16k column
+        std::printf("%-8s", suite[m].name.c_str());
+        for (std::size_t b = 0; b < nb; ++b)
+            std::printf("%9.2fx",
+                        static_cast<double>(base) / times[m * nb + b]);
         std::printf("\n");
     }
     return 0;

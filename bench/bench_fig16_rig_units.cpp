@@ -26,24 +26,27 @@ main(int argc, char **argv)
                 k);
 
     const std::uint32_t unit_counts[] = {2, 4, 8, 16, 32, 64};
+    constexpr std::size_t nu = std::size(unit_counts);
     std::printf("%-8s", "matrix");
     for (auto u : unit_counts)
         std::printf("%9u", u);
     std::printf("\n");
 
-    for (auto &bm : benchmarkSuite(scale)) {
+    auto suite = benchmarkSuite(scale);
+    std::vector<Tick> times(suite.size() * nu);
+    runSweep(times.size(), [&](std::size_t i) {
+        const auto &bm = suite[i / nu];
         Partition1D part = Partition1D::equalRows(bm.matrix.rows, nodes);
-        std::vector<Tick> times;
-        for (auto u : unit_counts) {
-            ClusterConfig cfg = defaultClusterConfig(nodes);
-            cfg.snic.numRigUnits = u;
-            GatherRunResult r =
-                ClusterSim(cfg).runGather(bm.matrix, part, k);
-            times.push_back(r.commTicks);
-        }
-        std::printf("%-8s", bm.name.c_str());
-        for (auto t : times)
-            std::printf("%8.2fx", static_cast<double>(times[0]) / t);
+        ClusterConfig cfg = defaultClusterConfig(nodes);
+        cfg.snic.numRigUnits = unit_counts[i % nu];
+        times[i] = ClusterSim(cfg).runGather(bm.matrix, part, k).commTicks;
+    });
+
+    for (std::size_t m = 0; m < suite.size(); ++m) {
+        std::printf("%-8s", suite[m].name.c_str());
+        for (std::size_t u = 0; u < nu; ++u)
+            std::printf("%8.2fx", static_cast<double>(times[m * nu]) /
+                                      times[m * nu + u]);
         std::printf("\n");
     }
     return 0;

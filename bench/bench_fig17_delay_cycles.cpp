@@ -32,31 +32,39 @@ main(int argc, char **argv)
                 k);
 
     const std::uint32_t delays[] = {0, 125, 500, 2000, 10000, 50000};
+    constexpr std::size_t nd = std::size(delays);
     std::printf("%-8s", "matrix");
     for (auto d : delays)
         std::printf("%9u", d);
     std::printf("\n");
 
-    for (auto &bm : benchmarkSuite(scale)) {
+    // Point 0 of each matrix's row is the no-concatenation baseline;
+    // points 1..nd sweep the delay.
+    auto suite = benchmarkSuite(scale);
+    constexpr std::size_t np = nd + 1;
+    std::vector<Tick> times(suite.size() * np);
+    runSweep(times.size(), [&](std::size_t i) {
+        const auto &bm = suite[i / np];
+        std::size_t p = i % np;
         Partition1D part = Partition1D::equalRows(bm.matrix.rows, nodes);
-
-        // Baseline: concatenation fully disabled (solo packets).
-        ClusterConfig base_cfg = defaultClusterConfig(nodes);
-        base_cfg.features.concatNic = false;
-        base_cfg.features.concatSwitch = false;
-        base_cfg.features.switchCache = false;
-        Tick base =
-            ClusterSim(base_cfg).runGather(bm.matrix, part, k).commTicks;
-
-        std::printf("%-8s", bm.name.c_str());
-        for (auto d : delays) {
-            ClusterConfig cfg = defaultClusterConfig(nodes);
-            cfg.nicConcatDelayCycles = d;
-            cfg.switchConcatDelayCycles = d / 4;
-            GatherRunResult r =
-                ClusterSim(cfg).runGather(bm.matrix, part, k);
-            std::printf("%8.2fx", static_cast<double>(base) / r.commTicks);
+        ClusterConfig cfg = defaultClusterConfig(nodes);
+        if (p == 0) {
+            cfg.features.concatNic = false;
+            cfg.features.concatSwitch = false;
+            cfg.features.switchCache = false;
+        } else {
+            cfg.nicConcatDelayCycles = delays[p - 1];
+            cfg.switchConcatDelayCycles = delays[p - 1] / 4;
         }
+        times[i] = ClusterSim(cfg).runGather(bm.matrix, part, k).commTicks;
+    });
+
+    for (std::size_t m = 0; m < suite.size(); ++m) {
+        Tick base = times[m * np];
+        std::printf("%-8s", suite[m].name.c_str());
+        for (std::size_t d = 1; d <= nd; ++d)
+            std::printf("%8.2fx",
+                        static_cast<double>(base) / times[m * np + d]);
         std::printf("\n");
     }
     return 0;

@@ -37,30 +37,33 @@ main(int argc, char **argv)
                                    32ull << 20, 256ull << 20};
     const char *labels[] = {"none", "64KB", "256KB", "2MB", "32MB",
                             "inf"};
+    constexpr std::size_t ns = std::size(sizes);
     std::printf("%-8s", "matrix");
     for (auto *l : labels)
         std::printf("%9s", l);
     std::printf("%9s\n", "hit@32M");
 
-    for (auto &bm : benchmarkSuite(scale)) {
+    auto suite = benchmarkSuite(scale);
+    std::vector<Tick> times(suite.size() * ns);
+    std::vector<double> hits(suite.size() * ns);
+    runSweep(times.size(), [&](std::size_t i) {
+        const auto &bm = suite[i / ns];
         Partition1D part = Partition1D::equalRows(bm.matrix.rows, nodes);
-        std::vector<Tick> times;
-        double hit32 = 0.0;
-        for (std::size_t i = 0; i < std::size(sizes); ++i) {
-            ClusterConfig cfg = defaultClusterConfig(nodes);
-            cfg.propertyCacheBytes = sizes[i];
-            if (sizes[i] == 0)
-                cfg.features.switchCache = false;
-            GatherRunResult r =
-                ClusterSim(cfg).runGather(bm.matrix, part, k);
-            times.push_back(r.commTicks);
-            if (sizes[i] == 32ull << 20)
-                hit32 = r.cacheHitRate();
-        }
-        std::printf("%-8s", bm.name.c_str());
-        for (auto t : times)
-            std::printf("%8.2fx", static_cast<double>(times[0]) / t);
-        std::printf("%8.0f%%\n", 100.0 * hit32);
+        ClusterConfig cfg = defaultClusterConfig(nodes);
+        cfg.propertyCacheBytes = sizes[i % ns];
+        if (cfg.propertyCacheBytes == 0)
+            cfg.features.switchCache = false;
+        GatherRunResult r = ClusterSim(cfg).runGather(bm.matrix, part, k);
+        times[i] = r.commTicks;
+        hits[i] = r.cacheHitRate();
+    });
+
+    for (std::size_t m = 0; m < suite.size(); ++m) {
+        std::printf("%-8s", suite[m].name.c_str());
+        for (std::size_t s = 0; s < ns; ++s)
+            std::printf("%8.2fx", static_cast<double>(times[m * ns]) /
+                                      times[m * ns + s]);
+        std::printf("%8.0f%%\n", 100.0 * hits[m * ns + 4]); // 32MB column
     }
     return 0;
 }

@@ -33,7 +33,10 @@ main(int argc, char **argv)
         std::printf("%6.0f%%", 100.0 * s / samples);
     std::printf("\n");
 
-    for (auto &bm : benchmarkSuite(scale)) {
+    auto suite = benchmarkSuite(scale);
+    std::vector<std::vector<std::uint32_t>> profiles(suite.size());
+    runSweep(profiles.size(), [&](std::size_t i) {
+        const auto &bm = suite[i];
         Partition1D part = Partition1D::equalRows(bm.matrix.rows, nodes);
         CommPattern cp = analyzeCommPattern(bm.matrix, part);
 
@@ -62,9 +65,12 @@ main(int argc, char **argv)
         for (NodeId n = 0; n < nodes; ++n)
             volume[n] = cp.nodes[n].uniqueRemote + serve[n];
 
-        auto prof = activeNodeProfile(volume, samples);
-        std::printf("%-8s", bm.name.c_str());
-        for (auto v : prof)
+        profiles[i] = activeNodeProfile(volume, samples);
+    });
+
+    for (std::size_t m = 0; m < suite.size(); ++m) {
+        std::printf("%-8s", suite[m].name.c_str());
+        for (auto v : profiles[m])
             std::printf("%7u", v);
         std::printf("\n");
     }

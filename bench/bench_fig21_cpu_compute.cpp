@@ -9,6 +9,8 @@
  * approaches the ideal line.
  */
 
+#include <array>
+
 #include "baseline/baselines.hh"
 #include "bench_common.hh"
 #include "runtime/cluster.hh"
@@ -28,9 +30,15 @@ main(int argc, char **argv)
            "Figure 21");
     std::printf("(%u nodes, matrix scale %.2f)\n\n", nodes, scale);
 
-    std::printf("%-8s %-8s %9s %9s %9s %9s\n", "matrix", "device",
-                "SUOpt", "SAOpt", "NetSparse", "ideal");
-    for (auto &bm : benchmarkSuite(scale)) {
+    struct DevRow
+    {
+        std::string device;
+        double su = 0, sa = 0, ns = 0, ideal = 0;
+    };
+    auto suite = benchmarkSuite(scale);
+    std::vector<std::array<DevRow, 2>> rows(suite.size());
+    runSweep(rows.size(), [&](std::size_t i) {
+        const auto &bm = suite[i];
         Partition1D part = Partition1D::equalRows(bm.matrix.rows, nodes);
 
         BaselineParams bp;
@@ -42,6 +50,7 @@ main(int argc, char **argv)
         for (NodeId n = 0; n < nodes; ++n)
             ns_comm[n] = ns.nodes[n].finishTick;
 
+        std::size_t d = 0;
         for (const ComputeDevice &dev : {cpuDdr(), cpuHbm()}) {
             EndToEndConfig e2e{dev, 0.5};
             Tick t1 = singleNodeTime(bm.matrix, k, dev);
@@ -52,11 +61,20 @@ main(int argc, char **argv)
             };
             EndToEndResult ideal_r = composeEndToEnd(
                 bm.matrix, part, k, std::vector<Tick>(nodes, 0), e2e);
+            rows[i][d++] =
+                DevRow{dev.name, speedup(su.perNodeTicks),
+                       speedup(sa.perNodeTicks), speedup(ns_comm),
+                       static_cast<double>(t1) / ideal_r.idealTicks};
+        }
+    });
+
+    std::printf("%-8s %-8s %9s %9s %9s %9s\n", "matrix", "device",
+                "SUOpt", "SAOpt", "NetSparse", "ideal");
+    for (std::size_t m = 0; m < suite.size(); ++m) {
+        for (const DevRow &r : rows[m]) {
             std::printf("%-8s %-8s %8.1fx %8.1fx %8.1fx %8.1fx\n",
-                        bm.name.c_str(), dev.name.c_str(),
-                        speedup(su.perNodeTicks),
-                        speedup(sa.perNodeTicks), speedup(ns_comm),
-                        static_cast<double>(t1) / ideal_r.idealTicks);
+                        suite[m].name.c_str(), r.device.c_str(), r.su,
+                        r.sa, r.ns, r.ideal);
         }
     }
     return 0;

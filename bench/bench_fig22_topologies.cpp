@@ -35,26 +35,32 @@ main(int argc, char **argv)
     const TopoRow topos[] = {{TopologyKind::LeafSpine, "leaf-spine"},
                              {TopologyKind::HyperX, "hyperx"},
                              {TopologyKind::Dragonfly, "dragonfly"}};
+    constexpr std::size_t nt = std::size(topos);
 
     std::printf("%-8s", "matrix");
     for (const auto &t : topos)
         std::printf("%12s", t.name);
     std::printf("\n");
 
-    for (auto &bm : benchmarkSuite(scale)) {
+    auto suite = benchmarkSuite(scale);
+    std::vector<Tick> times(suite.size() * nt);
+    runSweep(times.size(), [&](std::size_t i) {
+        const auto &bm = suite[i / nt];
+        Partition1D part = Partition1D::equalRows(bm.matrix.rows, nodes);
+        ClusterConfig cfg = defaultClusterConfig(nodes);
+        cfg.topology = topos[i % nt].kind;
+        times[i] = ClusterSim(cfg).runGather(bm.matrix, part, k).commTicks;
+    });
+
+    for (std::size_t m = 0; m < suite.size(); ++m) {
+        const auto &bm = suite[m];
         Partition1D part = Partition1D::equalRows(bm.matrix.rows, nodes);
         BaselineParams bp;
         BaselineResult su = runSuOpt(bm.matrix, part, k, bp);
-
         std::printf("%-8s", bm.name.c_str());
-        for (const auto &t : topos) {
-            ClusterConfig cfg = defaultClusterConfig(nodes);
-            cfg.topology = t.kind;
-            GatherRunResult r =
-                ClusterSim(cfg).runGather(bm.matrix, part, k);
-            std::printf("%11.2fx",
-                        static_cast<double>(su.commTicks) / r.commTicks);
-        }
+        for (std::size_t t = 0; t < nt; ++t)
+            std::printf("%11.2fx", static_cast<double>(su.commTicks) /
+                                       times[m * nt + t]);
         std::printf("\n");
     }
     return 0;

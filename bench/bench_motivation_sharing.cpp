@@ -21,17 +21,22 @@ main(int argc, char **argv)
     std::uint32_t rack = 16;
     double scale = benchScale();
 
+    auto suite = benchmarkSuite(scale);
+    std::vector<double> fracs(suite.size());
+    runSweep(fracs.size(), [&](std::size_t i) {
+        Partition1D part =
+            Partition1D::equalRows(suite[i].matrix.rows, nodes);
+        fracs[i] = rackSharingFraction(suite[i].matrix, part, rack);
+    });
+
     double sum = 0;
-    int count = 0;
     std::printf("%-8s %22s\n", "matrix", "shared PR fraction");
-    for (auto &bm : benchmarkSuite(scale)) {
-        Partition1D part = Partition1D::equalRows(bm.matrix.rows, nodes);
-        double f = rackSharingFraction(bm.matrix, part, rack);
-        std::printf("%-8s %21.1f%%\n", bm.name.c_str(), 100.0 * f);
-        sum += f;
-        ++count;
+    for (std::size_t m = 0; m < suite.size(); ++m) {
+        std::printf("%-8s %21.1f%%\n", suite[m].name.c_str(),
+                    100.0 * fracs[m]);
+        sum += fracs[m];
     }
     std::printf("%-8s %21.1f%%   (paper: 85%% average)\n", "mean",
-                100.0 * sum / count);
+                100.0 * sum / suite.size());
     return 0;
 }

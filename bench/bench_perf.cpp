@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Simulator throughput regression harness (no paper figure): runs the
+ * canonical gather (arabic at scale 1.0, 128 nodes, K=16) a few times
+ * and reports events/second plus wall and CPU time, writing the result
+ * as BENCH_perf.json (schema netsparse-perf-v1) for CI trend tracking.
+ *
+ * Events/sec is computed against CPU time (CLOCK_PROCESS_CPUTIME_ID)
+ * because CI runners and shared dev boxes make wall clock noisy; wall
+ * time is reported alongside for reference. The commTicks of every run
+ * must be identical - the harness exits nonzero otherwise, so it doubles
+ * as a cheap determinism check.
+ *
+ * Output path: --out FILE, else NETSPARSE_PERF_OUT, else
+ * ./BENCH_perf.json. See docs/performance.md.
+ */
+
+#include <chrono>
+#include <ctime>
+#include <string>
+
+#include "bench_common.hh"
+#include "runtime/cluster.hh"
+
+using namespace netsparse;
+using namespace netsparse::bench;
+
+namespace {
+
+double
+cpuSeconds()
+{
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0)
+        return static_cast<double>(ts.tv_sec) + ts.tv_nsec * 1e-9;
+#endif
+    return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+double
+wallSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    initObservability(argc, argv);
+    std::string out = "BENCH_perf.json";
+    if (const char *env = std::getenv("NETSPARSE_PERF_OUT"); env && *env)
+        out = env;
+    int repeats = 3;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--out")
+            out = argv[i + 1];
+        else if (std::string(argv[i]) == "--repeats")
+            repeats = std::max(1, std::atoi(argv[i + 1]));
+    }
+
+    const std::uint32_t nodes = 128;
+    const double scale = 1.0;
+    const std::uint32_t k = 16;
+    banner("Simulator throughput (canonical gather)", "no figure");
+    std::printf("(arabic, %u nodes, matrix scale %.2f, K=%u, %d "
+                "repeats)\n\n",
+                nodes, scale, k, repeats);
+
+    Csr m = makeBenchmarkMatrix(MatrixKind::Arabic, scale);
+    Partition1D part = Partition1D::equalRows(m.rows, nodes);
+
+    std::uint64_t events = 0;
+    Tick comm = 0;
+    bool deterministic = true;
+    double best_cpu = 0, best_wall = 0, sum_cpu = 0;
+    std::printf("%-6s %14s %12s %12s %14s\n", "run", "events", "cpu(s)",
+                "wall(s)", "events/s(cpu)");
+    for (int r = 0; r < repeats; ++r) {
+        ClusterConfig cfg = defaultClusterConfig(nodes);
+        double cpu0 = cpuSeconds(), wall0 = wallSeconds();
+        GatherRunResult res = ClusterSim(cfg).runGather(m, part, k);
+        double cpu = cpuSeconds() - cpu0, wall = wallSeconds() - wall0;
+
+        if (r == 0) {
+            events = res.executedEvents;
+            comm = res.commTicks;
+        } else if (res.executedEvents != events ||
+                   res.commTicks != comm) {
+            deterministic = false;
+        }
+        if (r == 0 || cpu < best_cpu)
+            best_cpu = cpu;
+        if (r == 0 || wall < best_wall)
+            best_wall = wall;
+        sum_cpu += cpu;
+        std::printf("%-6d %14llu %12.3f %12.3f %14.0f\n", r,
+                    (unsigned long long)res.executedEvents, cpu, wall,
+                    res.executedEvents / cpu);
+    }
+
+    double events_per_sec = events / best_cpu;
+    std::printf("\nbest: %.0f events/s (cpu), %.3f s cpu, %.3f s wall, "
+                "commTicks %llu%s\n",
+                events_per_sec, best_cpu, best_wall,
+                (unsigned long long)comm,
+                deterministic ? "" : "  [NON-DETERMINISTIC]");
+
+    std::FILE *f = std::fopen(out.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", out.c_str());
+        return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"schema\": \"netsparse-perf-v1\",\n"
+        "  \"benchmark\": \"canonical-gather\",\n"
+        "  \"matrix\": \"arabic\",\n"
+        "  \"nodes\": %u,\n"
+        "  \"scale\": %.2f,\n"
+        "  \"k\": %u,\n"
+        "  \"repeats\": %d,\n"
+        "  \"executed_events\": %llu,\n"
+        "  \"comm_ticks\": %llu,\n"
+        "  \"best_cpu_seconds\": %.6f,\n"
+        "  \"mean_cpu_seconds\": %.6f,\n"
+        "  \"best_wall_seconds\": %.6f,\n"
+        "  \"events_per_second\": %.0f,\n"
+        "  \"deterministic\": %s\n"
+        "}\n",
+        nodes, scale, k, repeats, (unsigned long long)events,
+        (unsigned long long)comm, best_cpu, sum_cpu / repeats, best_wall,
+        events_per_sec, deterministic ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", out.c_str());
+    return deterministic ? 0 : 2;
+}

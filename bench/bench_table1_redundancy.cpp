@@ -29,13 +29,20 @@ main(int argc, char **argv)
     std::uint32_t nodes = benchNodes();
     double scale = benchScale();
 
+    auto suite = benchmarkSuite(scale);
+    std::vector<CommPattern> patterns(suite.size());
+    runSweep(patterns.size(), [&](std::size_t i) {
+        Partition1D part =
+            Partition1D::equalRows(suite[i].matrix.rows, nodes);
+        patterns[i] = analyzeCommPattern(suite[i].matrix, part);
+    });
+
     std::printf("%-8s %12s %12s %10s %14s %14s\n", "matrix", "nnz",
                 "remote-nnz", "useful", "SU(1:x)", "SA(1:x)");
-    for (auto &bm : benchmarkSuite(scale)) {
-        Partition1D part = Partition1D::equalRows(bm.matrix.rows, nodes);
-        CommPattern cp = analyzeCommPattern(bm.matrix, part);
+    for (std::size_t m = 0; m < suite.size(); ++m) {
+        const CommPattern &cp = patterns[m];
         std::printf("%-8s %12zu %12llu %10llu %14.1f %14.2f\n",
-                    bm.name.c_str(), bm.matrix.nnz(),
+                    suite[m].name.c_str(), suite[m].matrix.nnz(),
                     (unsigned long long)cp.totalRemoteNnz,
                     (unsigned long long)cp.totalUseful,
                     cp.suRedundancyRatio(), cp.saRedundancyRatio());

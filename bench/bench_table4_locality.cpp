@@ -22,11 +22,16 @@ main(int argc, char **argv)
     std::uint32_t nodes = benchNodes();
     double scale = benchScale();
 
+    auto suite = benchmarkSuite(scale);
+    std::vector<double> uniques(suite.size());
+    runSweep(uniques.size(), [&](std::size_t i) {
+        Partition1D part =
+            Partition1D::equalRows(suite[i].matrix.rows, nodes);
+        uniques[i] = avgUniqueDestinations(suite[i].matrix, part, 64);
+    });
+
     std::printf("%-8s %26s\n", "matrix", "unique dests / 64 PRs");
-    for (auto &bm : benchmarkSuite(scale)) {
-        Partition1D part = Partition1D::equalRows(bm.matrix.rows, nodes);
-        double u = avgUniqueDestinations(bm.matrix, part, 64);
-        std::printf("%-8s %26.2f\n", bm.name.c_str(), u);
-    }
+    for (std::size_t m = 0; m < suite.size(); ++m)
+        std::printf("%-8s %26.2f\n", suite[m].name.c_str(), uniques[m]);
     return 0;
 }

@@ -28,10 +28,15 @@ main(int argc, char **argv)
     banner("Tail-node statistics for NetSparse (K=16)", "Table 7");
     std::printf("(%u nodes, matrix scale %.2f)\n\n", nodes, scale);
 
-    std::printf("%-8s %6s %8s %7s %6s %6s %9s %8s %8s\n", "matrix",
-                "F+C", "PR/pkt", "cache", "Gput", "LUtil", "-TrfcSU",
-                "GputSA", "-#PRvSA");
-    for (auto &bm : benchmarkSuite(scale)) {
+    struct Row
+    {
+        double fcRate = 0, prPerPkt = 0, cacheHit = 0, goodput = 0;
+        double lineUtil = 0, trfcVsSu = 0, saGoodput = 0, prVsSa = 0;
+    };
+    auto suite = benchmarkSuite(scale);
+    std::vector<Row> rows(suite.size());
+    runSweep(rows.size(), [&](std::size_t i) {
+        const auto &bm = suite[i];
         Partition1D part = Partition1D::equalRows(bm.matrix.rows, nodes);
 
         ClusterConfig cfg = defaultClusterConfig(nodes);
@@ -61,12 +66,22 @@ main(int argc, char **argv)
         double pr_vs_sa =
             ns_prs ? static_cast<double>(sa_prs) / ns_prs : 0.0;
 
+        rows[i] = Row{tail.fcRate(),   tail_pr_per_pkt, r.cacheHitRate(),
+                      r.tailGoodput,   r.tailLineUtil,  trfc_vs_su,
+                      sa.tailGoodput,  pr_vs_sa};
+    });
+
+    std::printf("%-8s %6s %8s %7s %6s %6s %9s %8s %8s\n", "matrix",
+                "F+C", "PR/pkt", "cache", "Gput", "LUtil", "-TrfcSU",
+                "GputSA", "-#PRvSA");
+    for (std::size_t m = 0; m < suite.size(); ++m) {
+        const Row &r = rows[m];
         std::printf("%-8s %5.0f%% %8.1f %6.0f%% %5.0f%% %5.0f%% %8.1fx "
                     "%7.1f%% %7.2fx\n",
-                    bm.name.c_str(), 100.0 * tail.fcRate(),
-                    tail_pr_per_pkt, 100.0 * r.cacheHitRate(),
-                    100.0 * r.tailGoodput, 100.0 * r.tailLineUtil,
-                    trfc_vs_su, 100.0 * sa.tailGoodput, pr_vs_sa);
+                    suite[m].name.c_str(), 100.0 * r.fcRate, r.prPerPkt,
+                    100.0 * r.cacheHit, 100.0 * r.goodput,
+                    100.0 * r.lineUtil, r.trfcVsSu, 100.0 * r.saGoodput,
+                    r.prVsSa);
     }
     return 0;
 }

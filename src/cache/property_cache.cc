@@ -30,7 +30,10 @@ PropertyCache::PropertyCache(const PropertyCacheConfig &cfg) : cfg_(cfg)
     ns_assert(cfg_.minLineBytes > 0 &&
                   cfg_.maxLineBytes % cfg_.minLineBytes == 0,
               "line sizes must nest");
-    configureForKernel(cfg_.minLineBytes);
+    // The way array is allocated lazily by configureForKernel, sized
+    // for the mode the kernel actually uses - not for the worst-case
+    // minimum-line mode, whose array can be 4x larger.
+    lineBytes_ = cfg_.minLineBytes;
 }
 
 void
@@ -39,7 +42,8 @@ PropertyCache::configureForKernel(std::uint32_t propertyBytes)
     if (!enabled()) {
         lineBytes_ = cfg_.minLineBytes;
         numSets_ = 0;
-        ways_.clear();
+        ways_.reset();
+        wayCapacity_ = 0;
         return;
     }
     if (propertyBytes > cfg_.maxLineBytes) {
@@ -54,28 +58,38 @@ PropertyCache::configureForKernel(std::uint32_t propertyBytes)
 
     std::uint64_t entries = cfg_.totalBytes / lineBytes_;
     numSets_ = std::max<std::uint64_t>(1, entries / cfg_.ways);
-    ways_.assign(numSets_ * cfg_.ways, Way{});
+    // Grow-only: carried-over entries are dead anyway once the epoch
+    // advances, so invalidation never rewrites the (multi-megabyte)
+    // way array. calloc hands back zero-on-demand pages, so even the
+    // initial allocation costs nothing until sets are actually touched.
+    std::uint64_t needed = numSets_ * cfg_.ways;
+    if (wayCapacity_ < needed) {
+        ways_.reset(
+            static_cast<Way *>(std::calloc(needed, sizeof(Way))));
+        ns_assert(ways_, "property cache allocation failed");
+        wayCapacity_ = needed;
+    }
+    ++epoch_;
     useClock_ = 0;
 }
 
 void
 PropertyCache::invalidateAll()
 {
-    for (auto &w : ways_)
-        w.valid = false;
+    ++epoch_;
 }
 
 bool
 PropertyCache::lookup(PropIdx idx, std::uint64_t &checksum)
 {
-    if (!enabled())
+    if (!enabled() || !ways_)
         return false;
     ++lookups_;
     std::uint64_t s = idx % numSets_;
     std::uint64_t tag = idx / numSets_;
     Way *ws = set(s);
     for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-        if (ws[w].valid && ws[w].tag == tag) {
+        if (live(ws[w]) && ws[w].tag == tag) {
             ++hits_;
             ws[w].lastUse = ++useClock_;
             checksum = ws[w].checksum;
@@ -88,14 +102,14 @@ PropertyCache::lookup(PropIdx idx, std::uint64_t &checksum)
 bool
 PropertyCache::insert(PropIdx idx, std::uint64_t checksum)
 {
-    if (!enabled())
+    if (!enabled() || !ways_)
         return false;
     std::uint64_t s = idx % numSets_;
     std::uint64_t tag = idx / numSets_;
     Way *ws = set(s);
 
     for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-        if (ws[w].valid && ws[w].tag == tag) {
+        if (live(ws[w]) && ws[w].tag == tag) {
             ++duplicateInserts_;
             return false;
         }
@@ -103,7 +117,7 @@ PropertyCache::insert(PropIdx idx, std::uint64_t checksum)
     // Prefer an invalid way; otherwise evict the least recently used.
     Way *victim = nullptr;
     for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-        if (!ws[w].valid) {
+        if (!live(ws[w])) {
             victim = &ws[w];
             break;
         }
@@ -111,9 +125,9 @@ PropertyCache::insert(PropIdx idx, std::uint64_t checksum)
             victim = &ws[w];
     }
     ns_assert(victim, "no victim way found");
-    if (victim->valid)
+    if (live(*victim))
         ++evictions_;
-    victim->valid = true;
+    victim->epoch = epoch_;
     victim->tag = tag;
     victim->checksum = checksum;
     victim->lastUse = ++useClock_;

@@ -19,8 +19,9 @@
 #define NETSPARSE_CACHE_PROPERTY_CACHE_HH
 
 #include <cstdint>
+#include <cstdlib>
+#include <memory>
 #include <string>
-#include <vector>
 
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -112,21 +113,43 @@ class PropertyCache
     void exportStats(StatRegistry &reg, const std::string &prefix) const;
 
   private:
+    /**
+     * One way. Validity is epoch-based: a way holds a live entry only
+     * when its epoch matches the cache's. Bumping the cache epoch
+     * invalidates every entry in O(1), which makes the per-kernel
+     * reconfiguration of a multi-megabyte cache free instead of a
+     * full-array rewrite on the simulator's critical path.
+     */
     struct Way
     {
         std::uint64_t tag = 0;
         std::uint64_t checksum = 0;
         std::uint64_t lastUse = 0;
-        bool valid = false;
+        std::uint64_t epoch = 0; // 0 = never written
     };
 
-    Way *set(std::uint64_t s) { return ways_.data() + s * cfg_.ways; }
+    Way *set(std::uint64_t s) { return ways_.get() + s * cfg_.ways; }
+
+    bool live(const Way &w) const { return w.epoch == epoch_; }
+
+    struct FreeDeleter
+    {
+        void operator()(Way *p) const { std::free(p); }
+    };
 
     PropertyCacheConfig cfg_;
     std::uint32_t lineBytes_ = 0;
     std::uint64_t numSets_ = 0;
-    std::vector<Way> ways_;
+    /**
+     * calloc-backed, not a vector: an all-zero Way is exactly the
+     * "never written" state (epoch 0 < any live epoch), so fresh
+     * zero-on-demand pages from the allocator stand in for the
+     * multi-megabyte memset a vector resize would do up front.
+     */
+    std::unique_ptr<Way[], FreeDeleter> ways_;
+    std::uint64_t wayCapacity_ = 0;
     std::uint64_t useClock_ = 0;
+    std::uint64_t epoch_ = 1;
 
     std::uint64_t lookups_ = 0;
     std::uint64_t hits_ = 0;

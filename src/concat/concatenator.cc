@@ -26,6 +26,7 @@ Concatenator::emitSolo(PropertyRequest &&pr, NodeId dest)
     pkt.dest = dest;
     pkt.type = pr.type;
     pkt.concatenated = false;
+    pkt.prs = acquirePrBuffer(1);
     pkt.prs.push_back(std::move(pr));
     ++packetsEmitted_;
     prsPerPacket_.sample(1.0);
@@ -152,7 +153,12 @@ Concatenator::flush(Cq &cq, [[maybe_unused]] const char *reason)
     pkt.dest = cq.dest;
     pkt.type = cq.type;
     pkt.concatenated = true;
-    pkt.prs = std::move(cq.prs);
+    // Move the PRs element-wise rather than stealing cq.prs's buffer:
+    // the CQ keeps its capacity across flushes, so steady-state refills
+    // never reallocate and the packet rides a recycled buffer.
+    pkt.prs = acquirePrBuffer(cq.prs.size());
+    for (PropertyRequest &pr : cq.prs)
+        pkt.prs.push_back(std::move(pr));
 
     for (Tick t : cq.enterTimes)
         prWaitTicks_.sample(static_cast<double>(eq_.now() - t));
@@ -209,6 +215,35 @@ std::vector<PropertyRequest>
 deconcatenate(Packet &&pkt)
 {
     return std::move(pkt.prs);
+}
+
+namespace {
+
+/** Retired Packet::prs buffers awaiting reuse (bounded). */
+thread_local std::vector<std::vector<PropertyRequest>> prBufferPool;
+constexpr std::size_t prBufferPoolMax = 64;
+
+} // namespace
+
+std::vector<PropertyRequest>
+acquirePrBuffer(std::size_t reserve)
+{
+    std::vector<PropertyRequest> buf;
+    if (!prBufferPool.empty()) {
+        buf = std::move(prBufferPool.back());
+        prBufferPool.pop_back();
+    }
+    buf.reserve(reserve);
+    return buf;
+}
+
+void
+recyclePrBuffer(std::vector<PropertyRequest> &&buf)
+{
+    if (prBufferPool.size() >= prBufferPoolMax)
+        return;
+    buf.clear();
+    prBufferPool.push_back(std::move(buf));
 }
 
 } // namespace netsparse

@@ -1,7 +1,5 @@
 #include "net/link.hh"
 
-#include <memory>
-
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -27,10 +25,6 @@ Link::send(Packet &&pkt)
     busyUntil_ = start + ser;
     busyTicks_ += ser;
 
-    ++packets_;
-    bytes_ += wire;
-    payloadBytes_ += pkt.payloadBytes();
-
     NS_TRACE(tw.complete(
         tw.track(name_), "tx", start, busyUntil_,
         traceArgs({{"bytes", static_cast<double>(wire)},
@@ -38,16 +32,24 @@ Link::send(Packet &&pkt)
                    {"dest", static_cast<double>(pkt.dest)}})));
 
     if (dropFilter_ && dropFilter_(pkt)) {
+        // A dropped packet burns wire time (accounted above via
+        // busyTicks_) but is never delivered, so it counts only in the
+        // drop statistics - not in the sent packet/byte/payload totals.
         ++dropped_;
+        droppedBytes_ += wire;
         NS_TRACE(tw.instant(tw.track(name_), "drop", busyUntil_));
         return;
     }
 
+    ++packets_;
+    bytes_ += wire;
+    payloadBytes_ += pkt.payloadBytes();
+
     Tick arrival = busyUntil_ + cfg_.latency;
-    // The callback owns the packet until delivery.
-    auto holder = std::make_shared<Packet>(std::move(pkt));
-    eq_.schedule(arrival, [this, holder]() mutable {
-        sink_->receivePacket(std::move(*holder), sinkPort_);
+    // The callback owns the packet until delivery (moved into pooled
+    // event storage; no heap holder).
+    eq_.schedule(arrival, [this, p = std::move(pkt)]() mutable {
+        sink_->receivePacket(std::move(p), sinkPort_);
     });
 }
 

@@ -81,6 +81,7 @@ class Link
     std::uint64_t bytesSent() const { return bytes_; }
     std::uint64_t payloadBytesSent() const { return payloadBytes_; }
     std::uint64_t packetsDropped() const { return dropped_; }
+    std::uint64_t bytesDropped() const { return droppedBytes_; }
     Tick busyTicks() const { return busyTicks_; }
     const std::string &name() const { return name_; }
 
@@ -107,6 +108,7 @@ class Link
     std::uint64_t bytes_ = 0;
     std::uint64_t payloadBytes_ = 0;
     std::uint64_t dropped_ = 0;
+    std::uint64_t droppedBytes_ = 0;
     Tick busyTicks_ = 0;
 };
 

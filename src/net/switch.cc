@@ -66,12 +66,11 @@ Switch::receivePacket(Packet &&pkt, std::uint32_t in_port)
         tw.track(name_), "pipe", eq_.now(), eq_.now() + delay,
         traceArgs({{"prs", static_cast<double>(pkt.prs.size())},
                    {"inPort", static_cast<double>(in_port)}})));
-    auto holder = std::make_shared<Packet>(std::move(pkt));
-    eq_.scheduleIn(delay, [this, holder, in_port]() mutable {
+    eq_.scheduleIn(delay, [this, p = std::move(pkt), in_port]() mutable {
         if (cfg_.netsparseEnabled)
-            processMiddlePipe(std::move(*holder), in_port);
+            processMiddlePipe(std::move(p), in_port);
         else
-            forward(std::move(*holder));
+            forward(std::move(p));
     });
 }
 
@@ -140,6 +139,7 @@ Switch::processMiddlePipe(Packet &&pkt, std::uint32_t in_port)
         }
         concat.push(std::move(pr), pkt_dest);
     }
+    recyclePrBuffer(std::move(prs));
 }
 
 void

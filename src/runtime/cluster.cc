@@ -223,6 +223,8 @@ ClusterSim::runGather(const Csr &m, const Partition1D &part,
         total_rx_packets ? static_cast<double>(total_rx_prs) /
                                total_rx_packets
                          : 0.0;
+    r.executedEvents = eq.executedEvents();
+    r.finalTick = eq.now();
     if (r.commTicks > 0) {
         double line_bpp = cfg_.link.bandwidth.bytesPerPs();
         const NodeRunStats &tail = r.tail();

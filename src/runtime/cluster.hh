@@ -123,6 +123,11 @@ struct GatherRunResult
     double tailGoodput = 0.0;
     double tailLineUtil = 0.0;
 
+    /** Simulator events dispatched during the run (for bench_perf). */
+    std::uint64_t executedEvents = 0;
+    /** Simulated time when the event queue drained. */
+    Tick finalTick = 0;
+
     /** Cache hit rate over all ToR lookups. */
     double
     cacheHitRate() const

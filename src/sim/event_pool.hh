@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Pooled, type-erased storage for event callbacks.
+ *
+ * The event queue used to carry a std::function per event, which heap-
+ * allocates for any capture larger than the small-buffer optimization
+ * (every Packet-carrying closure in the simulator). EventPool replaces
+ * that with free-list-backed fixed-size slots: a closure is constructed
+ * in place inside a slot, moved out and destroyed on dispatch, and the
+ * slot is recycled. Slots live in chunks that never move, so closures
+ * need not be trivially relocatable (a moved Packet's vectors stay
+ * valid), and the steady-state schedule/dispatch path performs no
+ * allocation at all once the pool has warmed up.
+ *
+ * Closures larger than the inline buffer (none on the simulator's hot
+ * paths; sized so every scheduling site in src/net, src/snic and
+ * src/runtime fits) fall back to one heap allocation per event.
+ */
+
+#ifndef NETSPARSE_SIM_EVENT_POOL_HH
+#define NETSPARSE_SIM_EVENT_POOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace netsparse {
+
+namespace detail {
+
+/** What the type-erased trampoline should do with a stored closure. */
+enum class EventOp
+{
+    Run,  // move the closure out, destroy the stored copy, invoke
+    Drop, // destroy the stored copy without invoking (queue teardown)
+};
+
+using EventFn = void (*)(void *buf, EventOp op);
+
+} // namespace detail
+
+/** A chunked pool of fixed-size event slots addressed by index. */
+class EventPool
+{
+  public:
+    /**
+     * Inline closure capacity. The largest steady-state closure is a
+     * doorbell event capturing {this, unit index, RigCommand} at ~80
+     * bytes; 104 leaves headroom without crossing two cache lines per
+     * slot (8-byte trampoline pointer + buffer = 112-byte slot).
+     */
+    static constexpr std::size_t inlineBytes = 104;
+
+    struct Slot
+    {
+        detail::EventFn fn = nullptr;
+        alignas(std::max_align_t) unsigned char buf[inlineBytes];
+    };
+
+    EventPool() = default;
+    EventPool(const EventPool &) = delete;
+    EventPool &operator=(const EventPool &) = delete;
+
+    /** Take a free slot (extends the pool by one chunk when dry). */
+    std::uint32_t
+    acquire()
+    {
+        if (freeList_.empty())
+            grow();
+        std::uint32_t id = freeList_.back();
+        freeList_.pop_back();
+        return id;
+    }
+
+    /** Return a slot whose closure has already been destroyed. */
+    void release(std::uint32_t id) { freeList_.push_back(id); }
+
+    Slot &
+    slot(std::uint32_t id)
+    {
+        return chunks_[id / chunkSlots][id % chunkSlots];
+    }
+
+    /** Slots ever created (capacity watermark, for tests/benchmarks). */
+    std::size_t capacity() const { return chunks_.size() * chunkSlots; }
+
+  private:
+    static constexpr std::size_t chunkSlots = 256;
+
+    void
+    grow()
+    {
+        auto base = static_cast<std::uint32_t>(capacity());
+        chunks_.push_back(std::make_unique<Slot[]>(chunkSlots));
+        // Hand out low indices first so early events cluster in the
+        // first chunk (cache locality on small runs).
+        for (std::uint32_t i = chunkSlots; i > 0; --i)
+            freeList_.push_back(base + i - 1);
+    }
+
+    std::vector<std::unique_ptr<Slot[]>> chunks_;
+    std::vector<std::uint32_t> freeList_;
+};
+
+namespace detail {
+
+/** Per-closure-type trampoline and constructor. */
+template <typename F>
+struct EventVtable
+{
+    static constexpr bool inline_fit =
+        sizeof(F) <= EventPool::inlineBytes &&
+        alignof(F) <= alignof(std::max_align_t);
+
+    static void
+    trampoline(void *buf, EventOp op)
+    {
+        if constexpr (inline_fit) {
+            F *f = std::launder(reinterpret_cast<F *>(buf));
+            if (op == EventOp::Run) {
+                // Move to the stack and destroy the stored copy before
+                // invoking, so the slot can be recycled even while the
+                // callback is still running and a throwing callback
+                // cannot leak the closure.
+                F local(std::move(*f));
+                f->~F();
+                local();
+            } else {
+                f->~F();
+            }
+        } else {
+            F *f = *std::launder(reinterpret_cast<F **>(buf));
+            if (op == EventOp::Run) {
+                std::unique_ptr<F> owned(f);
+                (*owned)();
+            } else {
+                delete f;
+            }
+        }
+    }
+
+    template <typename G>
+    static void
+    construct(EventPool::Slot &s, G &&fn)
+    {
+        if constexpr (inline_fit)
+            ::new (static_cast<void *>(s.buf)) F(std::forward<G>(fn));
+        else
+            ::new (static_cast<void *>(s.buf)) F *(
+                new F(std::forward<G>(fn)));
+        s.fn = &trampoline;
+    }
+};
+
+} // namespace detail
+
+} // namespace netsparse
+
+#endif // NETSPARSE_SIM_EVENT_POOL_HH

@@ -1,6 +1,7 @@
 #include "sim/event_queue.hh"
 
-#include "sim/logging.hh"
+#include <algorithm>
+
 #include "sim/trace.hh"
 
 namespace netsparse {
@@ -13,36 +14,133 @@ constexpr std::uint64_t traceSampleInterval = 1024;
 
 } // namespace
 
-void
-EventQueue::schedule(Tick when, Callback fn)
+EventQueue::~EventQueue()
 {
-    ns_assert(when >= now_, "event scheduled in the past: when=", when,
-              " now=", now_);
-    heap_.push(Entry{when, nextSeq_++, std::move(fn)});
+    // Destroy pending closures without invoking them (a closure may own
+    // a Packet or a completion callback with non-trivial state).
+    auto drop = [this](const Ref &r) {
+        EventPool::Slot &s = pool_.slot(r.slot);
+        s.fn(s.buf, detail::EventOp::Drop);
+    };
+    for (const Ref &r : cur_)
+        drop(r);
+    for (const auto &bucket : ring_)
+        for (const Ref &r : bucket)
+            drop(r);
+    for (const Ref &r : far_)
+        drop(r);
+}
+
+void
+EventQueue::enqueue(Tick when, std::uint32_t slot)
+{
+    Ref r{when, nextSeq_++, slot};
+    std::uint64_t b = bucketOf(when);
+    if (b <= cursor_) {
+        // The active bucket, or behind an already-rotated cursor (the
+        // cursor can sit ahead of now() after a far-heap jump); either
+        // way it belongs to the dispatch heap.
+        cur_.push_back(r);
+        std::push_heap(cur_.begin(), cur_.end(), Later{});
+    } else if (b - cursor_ < numBuckets) {
+        ring_[b % numBuckets].push_back(r);
+        ++nearSize_;
+    } else {
+        far_.push_back(r);
+        std::push_heap(far_.begin(), far_.end(), Later{});
+    }
+    ++size_;
+}
+
+void
+EventQueue::pullFar()
+{
+    while (!far_.empty() &&
+           bucketOf(far_.front().when) - cursor_ < numBuckets) {
+        std::pop_heap(far_.begin(), far_.end(), Later{});
+        Ref r = far_.back();
+        far_.pop_back();
+        std::uint64_t b = bucketOf(r.when);
+        if (b <= cursor_) {
+            cur_.push_back(r);
+            std::push_heap(cur_.begin(), cur_.end(), Later{});
+        } else {
+            ring_[b % numBuckets].push_back(r);
+            ++nearSize_;
+        }
+    }
+}
+
+bool
+EventQueue::advance()
+{
+    if (!cur_.empty())
+        return true;
+    if (nearSize_ > 0) {
+        // Rotate to the next occupied bucket. Each occupied slot maps to
+        // a unique absolute bucket inside the window, so the first
+        // non-empty slot is the earliest.
+        for (std::size_t i = 1; i < numBuckets; ++i) {
+            auto &bucket = ring_[(cursor_ + i) % numBuckets];
+            if (bucket.empty())
+                continue;
+            cursor_ += i;
+            nearSize_ -= bucket.size();
+            cur_.swap(bucket); // recycles vector capacity both ways
+            std::make_heap(cur_.begin(), cur_.end(), Later{});
+            pullFar();
+            return true;
+        }
+        ns_panic("near-event accounting out of sync");
+    }
+    if (!far_.empty()) {
+        // The wheel is empty: jump the window to the far heap's head.
+        cursor_ = bucketOf(far_.front().when);
+        pullFar(); // lands the head (bucket == cursor_) in cur_
+        return true;
+    }
+    return false;
 }
 
 Tick
 EventQueue::nextEventTick() const
 {
-    return heap_.empty() ? maxTick : heap_.top().when;
+    if (size_ == 0)
+        return maxTick;
+    if (!cur_.empty())
+        return cur_.front().when;
+    if (nearSize_ > 0) {
+        for (std::size_t i = 1; i < numBuckets; ++i) {
+            const auto &bucket = ring_[(cursor_ + i) % numBuckets];
+            if (bucket.empty())
+                continue;
+            Tick best = maxTick;
+            for (const Ref &r : bucket)
+                best = std::min(best, r.when);
+            return best;
+        }
+    }
+    return far_.front().when;
 }
 
 bool
 EventQueue::step()
 {
-    if (heap_.empty())
+    if (!advance())
         return false;
-    // Copy out the entry before popping so the callback may schedule
-    // new events (which can reallocate the heap storage).
-    Entry e = std::move(const_cast<Entry &>(heap_.top()));
-    heap_.pop();
-    now_ = e.when;
+    std::pop_heap(cur_.begin(), cur_.end(), Later{});
+    Ref r = cur_.back();
+    cur_.pop_back();
+    now_ = r.when;
+    --size_;
     ++executed_;
     if (executed_ % traceSampleInterval == 0) {
         NS_TRACE(tw.counter(tw.track("sim.eq"), "pendingEvents", now_,
-                            static_cast<double>(heap_.size())));
+                            static_cast<double>(size_)));
     }
-    e.fn();
+    EventPool::Slot &s = pool_.slot(r.slot);
+    s.fn(s.buf, detail::EventOp::Run);
+    pool_.release(r.slot);
     return true;
 }
 
@@ -57,7 +155,7 @@ EventQueue::run()
 Tick
 EventQueue::runUntil(Tick limit)
 {
-    while (!heap_.empty() && heap_.top().when <= limit)
+    while (advance() && cur_.front().when <= limit)
         step();
     return now_;
 }

@@ -6,29 +6,49 @@
  * callbacks at absolute ticks; the queue executes them in (tick, insertion
  * order) order, which makes every simulation run bit-reproducible for a
  * given seed.
+ *
+ * Internally the queue is a two-level scheduler over a pooled event
+ * store (see event_pool.hh):
+ *
+ *  - a timing-wheel ring of near-future buckets (bucketGranularity
+ *    ticks each) absorbs the dominant short-delay events - link
+ *    serialization, switch pipes, RIG chunk steps - with O(1) insertion
+ *    and a tiny per-bucket heap for dispatch;
+ *  - an overflow min-heap holds far-future events (watchdogs, the
+ *    simulation cap) and cascades into the ring as the wheel rotates.
+ *
+ * Both levels order events by the same (tick, sequence) key the old
+ * single priority queue used, so execution order - and therefore every
+ * statistic and trace - is bit-identical to a flat sorted queue.
  */
 
 #ifndef NETSPARSE_SIM_EVENT_QUEUE_HH
 #define NETSPARSE_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/event_pool.hh"
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace netsparse {
 
 /**
- * A min-heap of timestamped callbacks with FIFO tie-breaking.
+ * A two-level scheduler of timestamped callbacks with FIFO tie-breaking.
  */
 class EventQueue
 {
   public:
+    /** Compatibility alias; any move-constructible callable works. */
     using Callback = std::function<void()>;
 
     EventQueue() = default;
+    ~EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -37,22 +57,36 @@ class EventQueue
 
     /**
      * Schedule @p fn to run at absolute time @p when.
-     * @pre when >= now(), i.e. no scheduling into the past.
+     * @pre when >= now(), i.e. no scheduling into the past (enforced).
      */
-    void schedule(Tick when, Callback fn);
+    template <typename F>
+    void
+    schedule(Tick when, F &&fn)
+    {
+        using D = std::decay_t<F>;
+        static_assert(std::is_invocable_v<D &>,
+                      "event callbacks take no arguments");
+        ns_assert(when >= now_, "event scheduled in the past: when=", when,
+                  " now=", now_);
+        std::uint32_t slot = pool_.acquire();
+        detail::EventVtable<D>::construct(pool_.slot(slot),
+                                          std::forward<F>(fn));
+        enqueue(when, slot);
+    }
 
     /** Schedule @p fn to run @p delay ticks from now. */
+    template <typename F>
     void
-    scheduleIn(Tick delay, Callback fn)
+    scheduleIn(Tick delay, F &&fn)
     {
-        schedule(now_ + delay, std::move(fn));
+        schedule(now_ + delay, std::forward<F>(fn));
     }
 
     /** True when no events remain. */
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return size_ == 0; }
 
     /** Number of pending events. */
-    std::size_t size() const { return heap_.size(); }
+    std::size_t size() const { return size_; }
 
     /** Time of the earliest pending event, or maxTick when empty. */
     Tick nextEventTick() const;
@@ -75,18 +109,33 @@ class EventQueue
     /** Total number of events executed so far (for micro-benchmarks). */
     std::uint64_t executedEvents() const { return executed_; }
 
+    /** Event-pool slot watermark (for the perf benchmark). */
+    std::size_t poolCapacity() const { return pool_.capacity(); }
+
   private:
-    struct Entry
+    /** Ticks per wheel bucket, as a shift: 4096 ps (~4 ns). */
+    static constexpr unsigned bucketShift = 12;
+    /**
+     * Wheel size: 1024 buckets x 4 ns ~= 4.2 us of horizon, covering
+     * link latency (450 ns), switch pipes (300 ns), PCIe (200 ns) and
+     * every serialization delay; only watchdogs and congested-link
+     * arrivals overflow to the far heap.
+     */
+    static constexpr std::size_t numBuckets = 1024;
+
+    /** A scheduled event: its key plus the pooled closure's slot. */
+    struct Ref
     {
         Tick when;
         std::uint64_t seq;
-        Callback fn;
+        std::uint32_t slot;
     };
 
+    /** Min-heap comparator over the deterministic (tick, seq) key. */
     struct Later
     {
         bool
-        operator()(const Entry &a, const Entry &b) const
+        operator()(const Ref &a, const Ref &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -94,7 +143,42 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    static std::uint64_t bucketOf(Tick t) { return t >> bucketShift; }
+
+    /** Route an already-pooled event to the right level. */
+    void enqueue(Tick when, std::uint32_t slot);
+
+    /**
+     * Ensure cur_ holds the globally earliest events (rotating the
+     * wheel / cascading the far heap as needed).
+     * @return false when the queue is empty.
+     */
+    bool advance();
+
+    /** Cascade far-heap events that now fall inside the wheel window. */
+    void pullFar();
+
+    EventPool pool_;
+
+    /**
+     * Events of the bucket being drained (absolute bucket <= cursor_),
+     * kept as a binary heap on (when, seq). May also receive events
+     * scheduled "behind" an already-advanced cursor; bucket ranges are
+     * disjoint and ordered, so cur_ always holds the global minimum.
+     */
+    std::vector<Ref> cur_;
+    /** Near-future ring: bucket b lives at ring_[b % numBuckets]. */
+    std::array<std::vector<Ref>, numBuckets> ring_;
+    /** Far-future overflow heap (bucket >= cursor_ + numBuckets). */
+    std::vector<Ref> far_;
+
+    /** Absolute bucket number the wheel cursor is parked on. */
+    std::uint64_t cursor_ = 0;
+    /** Events currently stored in ring_ (excludes cur_ and far_). */
+    std::size_t nearSize_ = 0;
+    /** Total pending events across all levels. */
+    std::size_t size_ = 0;
+
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;

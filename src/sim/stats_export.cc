@@ -14,8 +14,11 @@ namespace {
 void
 atexitWrite()
 {
-    StatsExport::instance().writeFile();
+    StatsExport::global().writeFile();
 }
+
+/** The calling thread's bound collector; null means "use the global". */
+thread_local StatsExport *tlsExport = nullptr;
 
 /** Print a double the way JSON wants (no inf/nan, full precision). */
 void
@@ -117,8 +120,24 @@ writeStatsJson(const StatRegistry &reg, std::ostream &os)
 StatsExport &
 StatsExport::instance()
 {
+    return tlsExport ? *tlsExport : global();
+}
+
+StatsExport &
+StatsExport::global()
+{
     static StatsExport exporter;
     return exporter;
+}
+
+StatsExport::Bind::Bind(StatsExport &s) : prev_(tlsExport)
+{
+    tlsExport = &s;
+}
+
+StatsExport::Bind::~Bind()
+{
+    tlsExport = prev_;
 }
 
 void
@@ -138,12 +157,25 @@ StatRegistry &
 StatsExport::beginRun(const std::string &label)
 {
     auto run = std::make_unique<Run>();
-    run->label = label.empty()
-                     ? "gather" + std::to_string(runs_.size())
-                     : label;
+    // Empty labels stay empty until serialization ("gather<N>" by final
+    // document position), so a run's number reflects where it lands
+    // after any sweep-order absorb(), not which collector created it.
+    run->label = label;
     runs_.push_back(std::move(run));
     written_ = false;
     return runs_.back()->registry;
+}
+
+void
+StatsExport::absorb(StatsExport &&other)
+{
+    if (other.runs_.empty())
+        return;
+    runs_.reserve(runs_.size() + other.runs_.size());
+    for (auto &run : other.runs_)
+        runs_.push_back(std::move(run));
+    other.runs_.clear();
+    written_ = false;
 }
 
 std::string
@@ -154,8 +186,11 @@ StatsExport::toJson() const
     for (std::size_t i = 0; i < runs_.size(); ++i) {
         if (i)
             os << ',';
+        const std::string &label = runs_[i]->label;
         os << "\n{\"run\":" << i << ",\"label\":\""
-           << jsonEscape(runs_[i]->label) << "\",\"stats\":";
+           << (label.empty() ? "gather" + std::to_string(i)
+                             : jsonEscape(label))
+           << "\",\"stats\":";
         writeStatsJson(runs_[i]->registry, os);
         os << '}';
     }
@@ -182,6 +217,7 @@ StatsExport::reset()
 {
     runs_.clear();
     path_.clear();
+    collect_ = false;
     written_ = false;
 }
 

@@ -11,8 +11,8 @@
  *   histogram: {"type":"histogram","lo":L,"hi":H,"total":N,
  *               "buckets":[underflow, b0, ..., bk, overflow]}
  *
- * StatsExport is the process-wide collector behind the --stats-json
- * flag (and the NETSPARSE_STATS_JSON environment variable): every
+ * StatsExport is the collector behind the --stats-json flag (and the
+ * NETSPARSE_STATS_JSON environment variable): every
  * ClusterSim::runGather() deposits a full registry snapshot into it,
  * and the collector writes all runs as one document
  *
@@ -21,6 +21,13 @@
  *
  * either explicitly via writeFile() or automatically at process exit.
  * The stat naming contract is documented in docs/observability.md.
+ *
+ * instance() resolves to the calling thread's *bound* collector - by
+ * default the process-wide one, but a parallel sweep (sim/sweep.hh)
+ * binds a private per-run collector on each worker thread with
+ * StatsExport::Bind and absorb()s the per-point runs back into the
+ * global document in sweep order, so the emitted JSON is identical to a
+ * sequential run. Single-threaded tools keep the singleton facade.
  */
 
 #ifndef NETSPARSE_SIM_STATS_EXPORT_HH
@@ -41,12 +48,34 @@ std::string jsonEscape(const std::string &s);
 /** Serialize @p reg as one JSON object (the "stats" value above). */
 void writeStatsJson(const StatRegistry &reg, std::ostream &os);
 
-/** The process-wide stats collector. */
+/** A stats collector (see the thread-binding notes above). */
 class StatsExport
 {
   public:
+    /** The collector bound to the calling thread (default: global()). */
     static StatsExport &instance();
 
+    /** The process-wide collector behind --stats-json / atexit. */
+    static StatsExport &global();
+
+    /**
+     * RAII thread binding: while alive, instance() on this thread
+     * resolves to the given collector (bindings nest).
+     */
+    class Bind
+    {
+      public:
+        explicit Bind(StatsExport &s);
+        ~Bind();
+        Bind(const Bind &) = delete;
+        Bind &operator=(const Bind &) = delete;
+
+      private:
+        StatsExport *prev_;
+    };
+
+    /** Per-run collectors are plain objects; see Bind. */
+    StatsExport() = default;
     StatsExport(const StatsExport &) = delete;
     StatsExport &operator=(const StatsExport &) = delete;
 
@@ -56,14 +85,28 @@ class StatsExport
      */
     void setOutputPath(const std::string &path);
 
-    /** True once an output path is configured. */
-    bool enabled() const { return !path_.empty(); }
+    /**
+     * Enable (or disable) collection without an output path - used by
+     * per-run sweep collectors whose runs are absorb()ed elsewhere.
+     */
+    void setCollect(bool on) { collect_ = on; }
+
+    /** True when runGather() should deposit snapshots here. */
+    bool enabled() const { return collect_ || !path_.empty(); }
 
     /**
-     * Open a new run section labelled @p label (auto-labelled
-     * "gather<N>" when empty) and return its registry to fill.
+     * Open a new run section labelled @p label and return its registry
+     * to fill. An empty label is auto-assigned "gather<N>" by its final
+     * document position at serialization time, so runs absorbed from
+     * per-point sweep collectors number identically to sequential runs.
      */
     StatRegistry &beginRun(const std::string &label = {});
+
+    /**
+     * Move every run of @p other to the end of this document (sweep
+     * merge; @p other is left empty but still enabled).
+     */
+    void absorb(StatsExport &&other);
 
     /** The whole document as a JSON string. */
     std::string toJson() const;
@@ -77,8 +120,6 @@ class StatsExport
     std::size_t numRuns() const { return runs_.size(); }
 
   private:
-    StatsExport() = default;
-
     struct Run
     {
         std::string label;
@@ -86,6 +127,7 @@ class StatsExport
     };
 
     std::string path_;
+    bool collect_ = false;
     std::vector<std::unique_ptr<Run>> runs_;
     bool written_ = false;
 };

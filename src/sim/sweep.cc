@@ -1,0 +1,102 @@
+#include "sim/sweep.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/stats_export.hh"
+#include "sim/trace.hh"
+
+namespace netsparse {
+
+unsigned
+SweepExecutor::jobsFromEnv()
+{
+    const char *env = std::getenv("NETSPARSE_BENCH_JOBS");
+    if (!env || !*env)
+        return 1;
+    long v = std::strtol(env, nullptr, 10);
+    if (v < 1)
+        return 1;
+    return static_cast<unsigned>(v);
+}
+
+void
+SweepExecutor::run(std::size_t n,
+                   const std::function<void(std::size_t)> &point)
+{
+    unsigned workers =
+        static_cast<unsigned>(jobs_ < n ? jobs_ : (n ? n : 1));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            point(i);
+        return;
+    }
+
+    StatsExport &ambientStats = StatsExport::instance();
+    const bool collectStats = ambientStats.enabled();
+    TraceWriter &ambientTrace = TraceWriter::instance();
+    const bool captureTrace = ambientTrace.enabled();
+    const std::string tracePath = ambientTrace.path();
+
+    // Per-point sinks, absorbed in index order after the join so the
+    // merged document matches a sequential sweep byte for byte.
+    std::vector<std::unique_ptr<StatsExport>> pointStats(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        pointStats[i] = std::make_unique<StatsExport>();
+        pointStats[i]->setCollect(collectStats);
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex errMutex;
+    std::exception_ptr firstError;
+    std::size_t firstErrorIndex = n;
+
+    auto worker = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                StatsExport::Bind statsBind(*pointStats[i]);
+                if (captureTrace) {
+                    TraceWriter pointTrace;
+                    TraceWriter::Bind traceBind(pointTrace);
+                    pointTrace.open(tracePath + ".point" +
+                                    std::to_string(i));
+                    point(i);
+                    pointTrace.close();
+                } else {
+                    point(i);
+                }
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errMutex);
+                if (i < firstErrorIndex) {
+                    firstErrorIndex = i;
+                    firstError = std::current_exception();
+                }
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+
+    if (firstError)
+        std::rethrow_exception(firstError);
+
+    if (collectStats)
+        for (std::size_t i = 0; i < n; ++i)
+            ambientStats.absorb(std::move(*pointStats[i]));
+}
+
+} // namespace netsparse

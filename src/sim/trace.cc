@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <sstream>
 
 #include "sim/logging.hh"
@@ -11,12 +12,16 @@ namespace netsparse {
 
 namespace {
 
-/** Close the singleton at process exit so aborted runs keep the trace. */
+/** Close the global writer at process exit so aborted runs keep the
+ *  trace. */
 void
 atexitFlush()
 {
-    TraceWriter::instance().close();
+    TraceWriter::global().close();
 }
+
+/** The calling thread's bound writer; null means "use the global". */
+thread_local TraceWriter *tlsWriter = nullptr;
 
 /** Ticks (ps) to the trace_events "ts" unit (us), keeping ps precision. */
 double
@@ -44,8 +49,24 @@ traceArgs(std::initializer_list<std::pair<const char *, double>> kvs)
 TraceWriter &
 TraceWriter::instance()
 {
+    return tlsWriter ? *tlsWriter : global();
+}
+
+TraceWriter &
+TraceWriter::global()
+{
     static TraceWriter writer;
     return writer;
+}
+
+TraceWriter::Bind::Bind(TraceWriter &w) : prev_(tlsWriter)
+{
+    tlsWriter = &w;
+}
+
+TraceWriter::Bind::~Bind()
+{
+    tlsWriter = prev_;
 }
 
 bool
@@ -60,11 +81,10 @@ TraceWriter::open(const std::string &path)
     }
     std::fclose(probe);
 
-    static bool atexit_registered = false;
-    if (!atexit_registered) {
-        std::atexit(atexitFlush);
-        atexit_registered = true;
-    }
+    // once_flag, not a bare bool: sweep workers open per-point writers
+    // concurrently (src/sim/sweep.cc).
+    static std::once_flag atexit_once;
+    std::call_once(atexit_once, [] { std::atexit(atexitFlush); });
 
     path_ = path;
     enabled_ = true;

@@ -2,13 +2,19 @@
  * @file
  * Event tracing in the Chrome trace_events ("Perfetto") JSON format.
  *
- * The TraceWriter is a process-wide singleton that components feed with
- * instant, duration ("complete") and counter events keyed by a track
- * (one per component name, rendered as a thread row in Perfetto) and a
- * tick-derived timestamp. Events are buffered, sorted by timestamp and
- * written as one JSON document on close(), so the output always loads
- * in ui.perfetto.dev or chrome://tracing regardless of the order spans
- * retire in.
+ * Components feed a TraceWriter with instant, duration ("complete") and
+ * counter events keyed by a track (one per component name, rendered as
+ * a thread row in Perfetto) and a tick-derived timestamp. Events are
+ * buffered, sorted by timestamp and written as one JSON document on
+ * close(), so the output always loads in ui.perfetto.dev or
+ * chrome://tracing regardless of the order spans retire in.
+ *
+ * instance() resolves to the calling thread's *bound* writer - by
+ * default the process-wide one behind --trace-out, but a parallel sweep
+ * (sim/sweep.hh) binds a private per-run writer on each worker thread
+ * with TraceWriter::Bind so concurrent simulations capture into
+ * separate files. Single-threaded tools keep the singleton facade
+ * unchanged.
  *
  * Overhead discipline: tracing costs one inlined boolean test per
  * instrumentation site when disabled at runtime, and compiles away
@@ -46,12 +52,34 @@ namespace netsparse {
 std::string
 traceArgs(std::initializer_list<std::pair<const char *, double>> kvs);
 
-/** The process-wide trace sink. */
+/** An event-trace sink (see the thread-binding notes above). */
 class TraceWriter
 {
   public:
+    /** The writer bound to the calling thread (default: global()). */
     static TraceWriter &instance();
 
+    /** The process-wide writer behind --trace-out / atexit flushing. */
+    static TraceWriter &global();
+
+    /**
+     * RAII thread binding: while alive, instance() on this thread
+     * resolves to the given writer (bindings nest).
+     */
+    class Bind
+    {
+      public:
+        explicit Bind(TraceWriter &w);
+        ~Bind();
+        Bind(const Bind &) = delete;
+        Bind &operator=(const Bind &) = delete;
+
+      private:
+        TraceWriter *prev_;
+    };
+
+    /** Per-run writers are plain objects; see Bind. */
+    TraceWriter() = default;
     TraceWriter(const TraceWriter &) = delete;
     TraceWriter &operator=(const TraceWriter &) = delete;
 
@@ -67,6 +95,9 @@ class TraceWriter
 
     /** True while a capture is active (the per-site fast-path test). */
     bool enabled() const { return enabled_; }
+
+    /** The output path of the active capture (empty when disabled). */
+    const std::string &path() const { return path_; }
 
     /**
      * The track (Perfetto thread row) for a component name. Tracks are
@@ -90,8 +121,6 @@ class TraceWriter
     std::size_t eventCount() const { return events_.size(); }
 
   private:
-    TraceWriter() = default;
-
     struct Event
     {
         Tick ts;

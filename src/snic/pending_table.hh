@@ -11,7 +11,6 @@
 #define NETSPARSE_SNIC_PENDING_TABLE_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -19,20 +18,33 @@
 
 namespace netsparse {
 
-/** One Pending PR Table (a CAM with a fixed number of entries). */
+/**
+ * One Pending PR Table (a CAM with a fixed number of entries).
+ *
+ * The table is on the per-idx hot path of every RIG client chunk, so it
+ * is an open-addressing hash table over a fixed slot array sized at
+ * construction: insert/complete never allocate, unlike a node-based map
+ * which pays one heap round trip per outstanding PR.
+ */
 class PendingPrTable
 {
   public:
     explicit PendingPrTable(std::uint32_t capacity) : capacity_(capacity)
     {
         ns_assert(capacity_ > 0, "pending table needs capacity");
+        // <= 50% load at full CAM occupancy keeps probe chains short.
+        std::size_t want = static_cast<std::size_t>(capacity_) * 2;
+        slotCount_ = 16;
+        while (slotCount_ < want)
+            slotCount_ *= 2;
+        slots_.resize(slotCount_);
     }
 
     /** True when no more PRs can be tracked (the RIG unit must stall). */
     bool full() const { return total_ >= capacity_; }
 
     /** True when a PR for @p idx is outstanding. */
-    bool contains(PropIdx idx) const { return entries_.count(idx) != 0; }
+    bool contains(PropIdx idx) const { return find(idx) != nullptr; }
 
     /**
      * Track a newly issued PR. With coalescing disabled, several PRs
@@ -43,7 +55,14 @@ class PendingPrTable
     insert(PropIdx idx)
     {
         ns_assert(!full(), "pending table overflow");
-        ++entries_[idx].outstanding;
+        std::size_t i = slotOf(idx);
+        while (slots_[i].outstanding != 0 && slots_[i].idx != idx)
+            i = (i + 1) & (slotCount_ - 1);
+        if (slots_[i].outstanding == 0) {
+            slots_[i].idx = idx;
+            slots_[i].waiters = 0;
+        }
+        ++slots_[i].outstanding;
         ++total_;
         maxOccupancy_ = std::max<std::uint64_t>(maxOccupancy_, total_);
     }
@@ -52,9 +71,9 @@ class PendingPrTable
     void
     addWaiter(PropIdx idx)
     {
-        auto it = entries_.find(idx);
-        ns_assert(it != entries_.end(), "no pending entry for idx ", idx);
-        ++it->second.waiters;
+        Slot *s = find(idx);
+        ns_assert(s, "no pending entry for idx ", idx);
+        ++s->waiters;
     }
 
     /**
@@ -66,17 +85,17 @@ class PendingPrTable
     std::uint32_t
     complete(PropIdx idx)
     {
-        auto it = entries_.find(idx);
-        if (it == entries_.end())
+        Slot *s = find(idx);
+        if (!s)
             return 0;
         ns_assert(total_ > 0, "pending table accounting underflow");
         --total_;
-        if (it->second.outstanding > 1) {
-            --it->second.outstanding;
+        if (s->outstanding > 1) {
+            --s->outstanding;
             return 1;
         }
-        std::uint32_t served = 1 + it->second.waiters;
-        entries_.erase(it);
+        std::uint32_t served = 1 + s->waiters;
+        erase(static_cast<std::size_t>(s - slots_.data()));
         return served;
     }
 
@@ -84,7 +103,8 @@ class PendingPrTable
     void
     reset()
     {
-        entries_.clear();
+        for (Slot &s : slots_)
+            s.outstanding = 0;
         total_ = 0;
     }
 
@@ -95,14 +115,67 @@ class PendingPrTable
     std::uint64_t maxOccupancy() const { return maxOccupancy_; }
 
   private:
-    struct Entry
+    /** An occupied CAM slot; outstanding == 0 marks it free. */
+    struct Slot
     {
+        PropIdx idx = 0;
         std::uint32_t outstanding = 0;
         std::uint32_t waiters = 0;
     };
 
+    std::size_t
+    slotOf(PropIdx idx) const
+    {
+        // Fibonacci hashing spreads the dense, strided idx patterns of
+        // real gathers across the table.
+        return static_cast<std::size_t>(
+                   (idx * 0x9E3779B97F4A7C15ull) >> 32) &
+               (slotCount_ - 1);
+    }
+
+    Slot *
+    find(PropIdx idx)
+    {
+        std::size_t i = slotOf(idx);
+        while (slots_[i].outstanding != 0) {
+            if (slots_[i].idx == idx)
+                return &slots_[i];
+            i = (i + 1) & (slotCount_ - 1);
+        }
+        return nullptr;
+    }
+
+    const Slot *
+    find(PropIdx idx) const
+    {
+        return const_cast<PendingPrTable *>(this)->find(idx);
+    }
+
+    /** Backward-shift deletion keeps probe chains tombstone-free. */
+    void
+    erase(std::size_t i)
+    {
+        slots_[i].outstanding = 0;
+        std::size_t hole = i;
+        std::size_t j = (i + 1) & (slotCount_ - 1);
+        while (slots_[j].outstanding != 0) {
+            std::size_t home = slotOf(slots_[j].idx);
+            // Move j into the hole unless j's probe chain starts after
+            // the hole (circular interval test).
+            bool between = hole <= j ? (hole < home && home <= j)
+                                     : (hole < home || home <= j);
+            if (!between) {
+                slots_[hole] = slots_[j];
+                slots_[j].outstanding = 0;
+                hole = j;
+            }
+            j = (j + 1) & (slotCount_ - 1);
+        }
+    }
+
     std::uint32_t capacity_;
-    std::unordered_map<PropIdx, Entry> entries_;
+    std::size_t slotCount_;
+    std::vector<Slot> slots_;
     std::uint32_t total_ = 0;
     std::uint64_t maxOccupancy_ = 0;
 };

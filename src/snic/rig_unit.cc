@@ -256,14 +256,13 @@ RigServerUnit::handleRead(PropertyRequest &&pr)
     Tick fetched = std::max(
         issue, ctx_.pcie().transfer(pr.propBytes) + cfg_.serverMemLatency);
 
-    auto resp = std::make_shared<PropertyRequest>(std::move(pr));
-    resp->type = PrType::Response;
-    resp->payloadBytes = resp->propBytes;
-    resp->checksum = propertyChecksum(resp->idx);
+    pr.type = PrType::Response;
+    pr.payloadBytes = pr.propBytes;
+    pr.checksum = propertyChecksum(pr.idx);
 
-    eq_.schedule(fetched, [this, resp]() mutable {
-        NodeId back = resp->src;
-        ctx_.sendPr(std::move(*resp), back);
+    eq_.schedule(fetched, [this, resp = std::move(pr)]() mutable {
+        NodeId back = resp.src;
+        ctx_.sendPr(std::move(resp), back);
     });
 }
 

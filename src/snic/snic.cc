@@ -41,11 +41,11 @@ Snic::postRig(std::uint32_t c, RigCommand cmd)
 {
     ns_assert(c < clients_.size(), "no such client unit: ", c);
     ns_assert(!clients_[c]->busy(), "client unit ", c, " is busy");
-    auto holder = std::make_shared<RigCommand>(std::move(cmd));
     // The doorbell write crosses PCIe before the unit sees the command.
-    eq_.scheduleIn(pcie_.latency(), [this, c, holder]() mutable {
-        clients_[c]->start(std::move(*holder));
-    });
+    eq_.scheduleIn(pcie_.latency(),
+                   [this, c, moved = std::move(cmd)]() mutable {
+                       clients_[c]->start(std::move(moved));
+                   });
 }
 
 void
@@ -78,7 +78,8 @@ Snic::receivePacket(Packet &&pkt, std::uint32_t in_port)
                                  pkt.wireBytes(cfg_.proto))},
                    {"prs", static_cast<double>(pkt.prs.size())}})));
 
-    for (auto &pr : deconcatenate(std::move(pkt))) {
+    std::vector<PropertyRequest> prs = deconcatenate(std::move(pkt));
+    for (auto &pr : prs) {
         if (pr.type == PrType::Response) {
             ++rxResponses_;
             ns_assert(pr.src == self_,
@@ -94,6 +95,7 @@ Snic::receivePacket(Packet &&pkt, std::uint32_t in_port)
                           static_cast<std::uint32_t>(servers_.size());
         }
     }
+    recyclePrBuffer(std::move(prs));
 }
 
 RigClientStats

@@ -118,9 +118,16 @@ TEST(Link, DropFilterLosesPacketsButBurnsWireTime)
     link.send(soloPacket(100));
     eq.run();
     ASSERT_EQ(sink.arrivals.size(), 1u);
+    // The lost packet counts only in the drop statistics: sent
+    // packet/byte/payload totals cover delivered packets exclusively.
     EXPECT_EQ(link.packetsDropped(), 1u);
-    EXPECT_EQ(link.packetsSent(), 2u);
-    // The second packet still waited behind the first's serialization.
+    EXPECT_EQ(link.bytesDropped(), 178u); // 78 B header + 100 B payload
+    EXPECT_EQ(link.packetsSent(), 1u);
+    EXPECT_EQ(link.bytesSent(), 178u);
+    EXPECT_EQ(link.payloadBytesSent(), 100u);
+    // But it still burned wire time: the survivor waited behind the
+    // dropped packet's serialization.
+    EXPECT_EQ(link.busyTicks(), 2u * 3560u * ticks::ps);
     EXPECT_GT(sink.arrivals[0].when, 450u * ticks::ns + 3u * ticks::ns);
 }
 

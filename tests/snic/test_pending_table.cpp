@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <utility>
+
+#include "sim/rng.hh"
 #include "snic/pending_table.hh"
 
 using namespace netsparse;
@@ -84,4 +88,56 @@ TEST(PendingTable, TracksMaxOccupancy)
     t.complete(1);
     t.complete(2);
     EXPECT_EQ(t.maxOccupancy(), 3u);
+}
+
+TEST(PendingTable, RandomizedAgainstReferenceMap)
+{
+    // Model-check the open-addressing table (Fibonacci hash, linear
+    // probing, backward-shift deletion) against a simple reference:
+    // collisions, duplicate outstanding entries, waiters, and erases in
+    // arbitrary order must all agree.
+    Rng rng(99);
+    PendingPrTable t(64);
+    // idx -> (outstanding, waiters)
+    std::map<PropIdx, std::pair<std::uint32_t, std::uint32_t>> ref;
+    std::uint32_t refTotal = 0;
+
+    for (int op = 0; op < 20000; ++op) {
+        PropIdx idx = rng.uniformInt(0, 200); // dense keys collide a lot
+        switch (rng.uniformInt(0, 3)) {
+          case 0: // insert
+            if (refTotal < 64) {
+                t.insert(idx);
+                ++ref[idx].first;
+                ++refTotal;
+            }
+            break;
+          case 1: // addWaiter
+            if (ref.count(idx) && ref[idx].first > 0) {
+                t.addWaiter(idx);
+                ++ref[idx].second;
+            }
+            break;
+          default: { // complete
+            std::uint32_t got = t.complete(idx);
+            auto it = ref.find(idx);
+            if (it == ref.end() || it->second.first == 0) {
+                EXPECT_EQ(got, 0u);
+            } else {
+                --refTotal;
+                if (it->second.first > 1) {
+                    EXPECT_EQ(got, 1u);
+                    --it->second.first;
+                } else {
+                    EXPECT_EQ(got, 1u + it->second.second);
+                    ref.erase(it);
+                }
+            }
+            break;
+          }
+        }
+        ASSERT_EQ(t.size(), refTotal);
+    }
+    for (PropIdx idx = 0; idx <= 200; ++idx)
+        EXPECT_EQ(t.contains(idx), ref.count(idx) > 0) << "idx " << idx;
 }
