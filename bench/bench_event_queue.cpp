@@ -1,0 +1,168 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks dedicated to the EventQueue - the
+ * structure every simulated nanosecond passes through. Four angles:
+ *
+ *  - raw bulk throughput (schedule n, run n) for near-ring and
+ *    far-heap tick distributions;
+ *  - self-scheduling event chains (the dominant pattern: link
+ *    serialization, switch pipes and RIG units all reschedule
+ *    themselves a few ns ahead), including many interleaved chains;
+ *  - mixed ring/far workloads at a configurable far fraction,
+ *    modeling watchdogs and congested-link arrivals cascading back
+ *    into the wheel;
+ *  - the delivery band (scheduleDelivery) the parallel engine merges
+ *    cross-shard packets through.
+ *
+ * Run: build/bench/bench_event_queue [--benchmark_filter=...]
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+using namespace netsparse;
+
+namespace {
+
+/** schedule(n) then run(): bulk throughput with random ticks < span. */
+void
+BM_BulkScheduleRun(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const std::uint64_t span = static_cast<std::uint64_t>(state.range(1));
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t sum = 0;
+        for (int i = 0; i < n; ++i)
+            eq.schedule(static_cast<Tick>(splitmix64(i) % span),
+                        [&sum] { ++sum; });
+        eq.run();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+// span 4096 ticks: everything lands in the timing-wheel ring.
+// span 16M ticks: most events start in the far heap and cascade in.
+BENCHMARK(BM_BulkScheduleRun)
+    ->Args({1 << 14, 1 << 12})
+    ->Args({1 << 14, 1 << 24});
+
+/**
+ * A single self-rescheduling event chain: the steady-state shape of a
+ * busy link or pipe. Tiny queue, maximal scheduling churn.
+ */
+void
+BM_SelfSchedulingChain(benchmark::State &state)
+{
+    const std::uint64_t hops = static_cast<std::uint64_t>(state.range(0));
+    const Tick step = 450; // a link-latency-ish stride
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t left = hops;
+        std::function<void()> hop = [&] {
+            if (--left)
+                eq.scheduleIn(step, hop);
+        };
+        eq.schedule(0, hop);
+        eq.run();
+        benchmark::DoNotOptimize(left);
+    }
+    state.SetItemsProcessed(state.iterations() * hops);
+}
+BENCHMARK(BM_SelfSchedulingChain)->Arg(1 << 16);
+
+/**
+ * Many interleaved self-scheduling chains with co-prime strides - the
+ * whole-cluster picture where hundreds of links and pipes each keep
+ * one event in flight.
+ */
+void
+BM_InterleavedChains(benchmark::State &state)
+{
+    const int chains = static_cast<int>(state.range(0));
+    const std::uint64_t total = 1 << 16;
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t executed = 0;
+        std::vector<std::function<void()>> hop(chains);
+        for (int c = 0; c < chains; ++c) {
+            Tick step = 100 + 7 * static_cast<Tick>(c);
+            hop[c] = [&, c, step] {
+                if (++executed < total)
+                    eq.scheduleIn(step, hop[c]);
+            };
+            eq.schedule(static_cast<Tick>(c), hop[c]);
+        }
+        eq.run();
+        benchmark::DoNotOptimize(executed);
+    }
+    state.SetItemsProcessed(state.iterations() * total);
+}
+BENCHMARK(BM_InterleavedChains)->Arg(16)->Arg(256);
+
+/**
+ * Ring/far mix: random short delays with every k-th event thrown far
+ * ahead (watchdog-style), exercising the cascade path under load.
+ * range(0) = one far event per this many near events.
+ */
+void
+BM_RingFarMix(benchmark::State &state)
+{
+    const std::uint64_t farEvery =
+        static_cast<std::uint64_t>(state.range(0));
+    const std::uint64_t total = 1 << 15;
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t executed = 0, i = 0;
+        std::function<void()> next = [&] {
+            if (++executed >= total)
+                return;
+            bool far = (++i % farEvery) == 0;
+            Tick d = far ? 10'000'000 + splitmix64(i) % 1'000'000
+                         : 1 + splitmix64(i) % 2000;
+            eq.scheduleIn(d, next);
+        };
+        eq.schedule(0, next);
+        eq.run();
+        benchmark::DoNotOptimize(executed);
+    }
+    state.SetItemsProcessed(state.iterations() * total);
+}
+BENCHMARK(BM_RingFarMix)->Arg(1 << 30)->Arg(64)->Arg(8);
+
+/**
+ * The delivery band: per-link keyed arrivals as the parallel engine's
+ * channel merge produces them, interleaved over several links.
+ */
+void
+BM_DeliveryBand(benchmark::State &state)
+{
+    const int links = static_cast<int>(state.range(0));
+    const std::uint64_t total = 1 << 15;
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t sum = 0;
+        std::uint64_t seq = 0;
+        for (std::uint64_t i = 0; i < total; ++i) {
+            std::uint32_t link = static_cast<std::uint32_t>(i) % links;
+            eq.scheduleDelivery(
+                static_cast<Tick>(splitmix64(i) % 4096),
+                EventQueue::deliveryKey(link, seq++),
+                [&sum] { ++sum; });
+        }
+        eq.run();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * total);
+}
+BENCHMARK(BM_DeliveryBand)->Arg(4)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

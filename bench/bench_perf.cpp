@@ -2,14 +2,19 @@
  * @file
  * Simulator throughput regression harness (no paper figure): runs the
  * canonical gather (arabic at scale 1.0, 128 nodes, K=16) a few times
- * and reports events/second plus wall and CPU time, writing the result
- * as BENCH_perf.json (schema netsparse-perf-v1) for CI trend tracking.
+ * sequentially and again under the parallel engine, and reports
+ * events/second plus wall and CPU time, writing the result as
+ * BENCH_perf.json (schema netsparse-perf-v2) for CI trend tracking.
  *
- * Events/sec is computed against CPU time (CLOCK_PROCESS_CPUTIME_ID)
- * because CI runners and shared dev boxes make wall clock noisy; wall
- * time is reported alongside for reference. The commTicks of every run
- * must be identical - the harness exits nonzero otherwise, so it doubles
- * as a cheap determinism check.
+ * Sequential events/sec is computed against CPU time
+ * (CLOCK_PROCESS_CPUTIME_ID) because CI runners and shared dev boxes
+ * make wall clock noisy; wall time is reported alongside. The parallel
+ * phase is judged on wall clock - that is the quantity sharding buys -
+ * with the shard count picked as min(racks, host cores) unless
+ * NETSPARSE_PERF_SHARDS overrides it. Every run's commTicks and event
+ * count must be identical across repeats AND across engines - the
+ * harness exits nonzero otherwise, so it doubles as a determinism
+ * check of the conservative synchronization.
  *
  * Output path: --out FILE, else NETSPARSE_PERF_OUT, else
  * ./BENCH_perf.json. See docs/performance.md.
@@ -18,6 +23,7 @@
 #include <chrono>
 #include <ctime>
 #include <string>
+#include <thread>
 
 #include "bench_common.hh"
 #include "runtime/cluster.hh"
@@ -47,6 +53,55 @@ wallSeconds()
         .count();
 }
 
+struct PhaseResult
+{
+    std::uint64_t events = 0;
+    Tick comm = 0;
+    std::uint64_t epochs = 0;
+    std::uint32_t shards = 1;
+    double bestCpu = 0;
+    double bestWall = 0;
+    double sumCpu = 0;
+    bool deterministic = true;
+};
+
+PhaseResult
+runPhase(const char *label, std::uint32_t shards, const Csr &m,
+         const Partition1D &part, std::uint32_t nodes, std::uint32_t k,
+         int repeats)
+{
+    PhaseResult ph;
+    std::printf("%s\n%-6s %14s %12s %12s %14s\n", label, "run",
+                "events", "cpu(s)", "wall(s)", "events/s(wall)");
+    for (int r = 0; r < repeats; ++r) {
+        ClusterConfig cfg = defaultClusterConfig(nodes);
+        cfg.simShards = shards;
+        double cpu0 = cpuSeconds(), wall0 = wallSeconds();
+        GatherRunResult res = ClusterSim(cfg).runGather(m, part, k);
+        double cpu = cpuSeconds() - cpu0, wall = wallSeconds() - wall0;
+
+        if (r == 0) {
+            ph.events = res.executedEvents;
+            ph.comm = res.commTicks;
+            ph.epochs = res.epochs;
+            ph.shards = res.simShards;
+        } else if (res.executedEvents != ph.events ||
+                   res.commTicks != ph.comm) {
+            ph.deterministic = false;
+        }
+        if (r == 0 || cpu < ph.bestCpu)
+            ph.bestCpu = cpu;
+        if (r == 0 || wall < ph.bestWall)
+            ph.bestWall = wall;
+        ph.sumCpu += cpu;
+        std::printf("%-6d %14llu %12.3f %12.3f %14.0f\n", r,
+                    (unsigned long long)res.executedEvents, cpu, wall,
+                    res.executedEvents / wall);
+    }
+    std::printf("\n");
+    return ph;
+}
+
 } // namespace
 
 int
@@ -67,48 +122,42 @@ main(int argc, char **argv)
     const std::uint32_t nodes = 128;
     const double scale = 1.0;
     const std::uint32_t k = 16;
+    const std::uint32_t racks = 8; // 128 nodes / 16 per rack
+    const std::uint32_t host_cores =
+        std::max(1u, std::thread::hardware_concurrency());
+    std::uint32_t par_shards = std::min(racks, host_cores);
+    if (const char *env = std::getenv("NETSPARSE_PERF_SHARDS");
+        env && *env)
+        par_shards = std::max(1, std::atoi(env));
+
     banner("Simulator throughput (canonical gather)", "no figure");
     std::printf("(arabic, %u nodes, matrix scale %.2f, K=%u, %d "
-                "repeats)\n\n",
-                nodes, scale, k, repeats);
+                "repeats, %u host cores)\n\n",
+                nodes, scale, k, repeats, host_cores);
 
     Csr m = makeBenchmarkMatrix(MatrixKind::Arabic, scale);
     Partition1D part = Partition1D::equalRows(m.rows, nodes);
 
-    std::uint64_t events = 0;
-    Tick comm = 0;
-    bool deterministic = true;
-    double best_cpu = 0, best_wall = 0, sum_cpu = 0;
-    std::printf("%-6s %14s %12s %12s %14s\n", "run", "events", "cpu(s)",
-                "wall(s)", "events/s(cpu)");
-    for (int r = 0; r < repeats; ++r) {
-        ClusterConfig cfg = defaultClusterConfig(nodes);
-        double cpu0 = cpuSeconds(), wall0 = wallSeconds();
-        GatherRunResult res = ClusterSim(cfg).runGather(m, part, k);
-        double cpu = cpuSeconds() - cpu0, wall = wallSeconds() - wall0;
+    PhaseResult seq = runPhase("sequential (1 shard)", 1, m, part, nodes,
+                               k, repeats);
+    PhaseResult par = runPhase("parallel", par_shards, m, part, nodes, k,
+                               repeats);
 
-        if (r == 0) {
-            events = res.executedEvents;
-            comm = res.commTicks;
-        } else if (res.executedEvents != events ||
-                   res.commTicks != comm) {
-            deterministic = false;
-        }
-        if (r == 0 || cpu < best_cpu)
-            best_cpu = cpu;
-        if (r == 0 || wall < best_wall)
-            best_wall = wall;
-        sum_cpu += cpu;
-        std::printf("%-6d %14llu %12.3f %12.3f %14.0f\n", r,
-                    (unsigned long long)res.executedEvents, cpu, wall,
-                    res.executedEvents / cpu);
-    }
+    bool deterministic = seq.deterministic && par.deterministic &&
+                         par.events == seq.events &&
+                         par.comm == seq.comm;
 
-    double events_per_sec = events / best_cpu;
-    std::printf("\nbest: %.0f events/s (cpu), %.3f s cpu, %.3f s wall, "
-                "commTicks %llu%s\n",
-                events_per_sec, best_cpu, best_wall,
-                (unsigned long long)comm,
+    double events_per_sec = seq.events / seq.bestCpu;
+    double wall_speedup = seq.bestWall / par.bestWall;
+    std::printf("sequential best : %.0f events/s (cpu), %.3f s cpu, "
+                "%.3f s wall\n",
+                events_per_sec, seq.bestCpu, seq.bestWall);
+    std::printf("parallel best   : %.0f events/s (wall), %.3f s wall, "
+                "%u shards, %llu epochs\n",
+                par.events / par.bestWall, par.bestWall, par.shards,
+                (unsigned long long)par.epochs);
+    std::printf("wall speedup    : %.2fx on %u cores, commTicks %llu%s\n",
+                wall_speedup, host_cores, (unsigned long long)seq.comm,
                 deterministic ? "" : "  [NON-DETERMINISTIC]");
 
     std::FILE *f = std::fopen(out.c_str(), "w");
@@ -119,7 +168,7 @@ main(int argc, char **argv)
     std::fprintf(
         f,
         "{\n"
-        "  \"schema\": \"netsparse-perf-v1\",\n"
+        "  \"schema\": \"netsparse-perf-v2\",\n"
         "  \"benchmark\": \"canonical-gather\",\n"
         "  \"matrix\": \"arabic\",\n"
         "  \"nodes\": %u,\n"
@@ -132,11 +181,20 @@ main(int argc, char **argv)
         "  \"mean_cpu_seconds\": %.6f,\n"
         "  \"best_wall_seconds\": %.6f,\n"
         "  \"events_per_second\": %.0f,\n"
+        "  \"host_cores\": %u,\n"
+        "  \"parallel_shards\": %u,\n"
+        "  \"parallel_epochs\": %llu,\n"
+        "  \"parallel_best_wall_seconds\": %.6f,\n"
+        "  \"parallel_events_per_second_wall\": %.0f,\n"
+        "  \"wall_speedup\": %.3f,\n"
         "  \"deterministic\": %s\n"
         "}\n",
-        nodes, scale, k, repeats, (unsigned long long)events,
-        (unsigned long long)comm, best_cpu, sum_cpu / repeats, best_wall,
-        events_per_sec, deterministic ? "true" : "false");
+        nodes, scale, k, repeats, (unsigned long long)seq.events,
+        (unsigned long long)seq.comm, seq.bestCpu,
+        seq.sumCpu / repeats, seq.bestWall, events_per_sec, host_cores,
+        par.shards, (unsigned long long)par.epochs, par.bestWall,
+        par.events / par.bestWall, wall_speedup,
+        deterministic ? "true" : "false");
     std::fclose(f);
     std::printf("wrote %s\n", out.c_str());
     return deterministic ? 0 : 2;

@@ -22,6 +22,8 @@
  *     --no-cache           disable the Property Cache
  *     --cache-bytes B      Property Cache capacity per ToR
  *     --partition P        rows|nnz                      (default rows)
+ *     --shards N           parallel-engine shards; 0 consults
+ *                          NETSPARSE_SIM_SHARDS             (default 0)
  *     --stats              dump the full stats registry
  *     --stats-json FILE    write a JSON stats snapshot (the
  *                          docs/observability.md metrics contract)
@@ -55,7 +57,8 @@ usage(const char *argv0)
                  "dragonfly]\n"
                  "  [--batch B] [--adaptive] [--virtual-cqs] "
                  "[--no-cache]\n"
-                 "  [--cache-bytes B] [--partition rows|nnz] [--stats]\n"
+                 "  [--cache-bytes B] [--partition rows|nnz] "
+                 "[--shards N] [--stats]\n"
                  "  [--stats-json FILE] [--trace-out FILE]\n",
                  argv0);
     std::exit(2);
@@ -76,6 +79,7 @@ main(int argc, char **argv)
     bool adaptive = false, virtual_cqs = false, no_cache = false;
     std::uint64_t cache_bytes = 0;
     std::string partition = "rows";
+    std::uint32_t shards = 0;
     bool dump_stats = false;
     std::string stats_json, trace_out;
 
@@ -110,6 +114,8 @@ main(int argc, char **argv)
             cache_bytes = std::strtoull(next(), nullptr, 0);
         else if (a == "--partition")
             partition = next();
+        else if (a == "--shards")
+            shards = std::atoi(next());
         else if (a == "--stats")
             dump_stats = true;
         else if (a == "--stats-json")
@@ -167,6 +173,7 @@ main(int argc, char **argv)
     }
     if (cache_bytes)
         cfg.propertyCacheBytes = cache_bytes;
+    cfg.simShards = shards;
 
     std::printf("netsparse_sim: %s (%u x %u, %zu nnz), %u nodes, K=%u, "
                 "%s\n",
@@ -203,5 +210,11 @@ main(int argc, char **argv)
                 (unsigned long long)r.prsServedByCache);
     std::printf("tail line util     : %9.1f%%\n", 100 * r.tailLineUtil);
     std::printf("tail goodput       : %9.1f%%\n", 100 * r.tailGoodput);
+    if (r.simShards > 1) {
+        std::printf("parallel engine    : %10u shards, %llu epochs, "
+                    "lookahead %.0f ns\n",
+                    r.simShards, (unsigned long long)r.epochs,
+                    ticks::toNs(r.lookaheadTicks));
+    }
     return 0;
 }

@@ -12,6 +12,10 @@ HostNode::HostNode(EventQueue &eq, HostConfig cfg, Snic &snic,
     : eq_(eq), cfg_(cfg), snic_(snic), stream_(std::move(idx_stream)),
       propBytes_(prop_bytes), qp_(eq, snic)
 {
+    ns_assert(&eq_ == &snic_.eventQueue(),
+              "host and its SNIC must share an event queue; the shard "
+              "partition is rack-granular exactly so this pair stays "
+              "together");
     qp_.setCompletionHandler([this] { drainCq(); });
     if (cfg_.batchSize == 0) {
         std::uint64_t per_unit =

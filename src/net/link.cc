@@ -46,11 +46,22 @@ Link::send(Packet &&pkt)
     payloadBytes_ += pkt.payloadBytes();
 
     Tick arrival = busyUntil_ + cfg_.latency;
+    std::uint64_t key = EventQueue::deliveryKey(orderingId_,
+                                               deliverySeq_++);
+    if (outbox_) {
+        // Cross-shard edge: hand the packet to the destination shard's
+        // mailbox; it schedules the delivery on its own queue under the
+        // same key at the next epoch barrier.
+        outbox_->push(PendingDelivery{arrival, key, sink_, sinkPort_,
+                                      std::move(pkt)});
+        return;
+    }
     // The callback owns the packet until delivery (moved into pooled
     // event storage; no heap holder).
-    eq_.schedule(arrival, [this, p = std::move(pkt)]() mutable {
-        sink_->receivePacket(std::move(p), sinkPort_);
-    });
+    eq_.scheduleDelivery(arrival, key,
+                         [this, p = std::move(pkt)]() mutable {
+                             sink_->receivePacket(std::move(p), sinkPort_);
+                         });
 }
 
 } // namespace netsparse

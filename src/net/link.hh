@@ -18,6 +18,7 @@
 #include <string>
 
 #include "net/protocol.hh"
+#include "sim/channel.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
 
@@ -32,6 +33,23 @@ class PacketSink
     /** Deliver @p pkt, which arrived on the receiver's port @p inPort. */
     virtual void receivePacket(Packet &&pkt, std::uint32_t inPort) = 0;
 };
+
+/**
+ * A packet in flight across a shard boundary: everything the receiving
+ * shard needs to schedule the delivery on its own queue under the same
+ * (tick, delivery key) the sending shard would have used locally.
+ */
+struct PendingDelivery
+{
+    Tick when = 0;
+    std::uint64_t key = 0;
+    PacketSink *sink = nullptr;
+    std::uint32_t port = 0;
+    Packet pkt;
+};
+
+/** The per-(source shard, destination shard) delivery channel. */
+using DeliveryMailbox = EpochMailbox<PendingDelivery>;
 
 /** Static link parameters. */
 struct LinkConfig
@@ -76,6 +94,26 @@ class Link
         dropFilter_ = std::move(filter);
     }
 
+    /**
+     * Assign the cluster-wide ordering id used to build delivery keys.
+     * Ids must be unique per cluster and identical across runs (the
+     * builder assigns them in construction order) - they are the
+     * same-tick tie-break at a sink, so they are what keeps execution
+     * independent of the shard count.
+     */
+    void setOrderingId(std::uint32_t id) { orderingId_ = id; }
+    std::uint32_t orderingId() const { return orderingId_; }
+
+    /**
+     * Mark this link as crossing a shard boundary: deliveries are
+     * deposited into @p outbox (drained by the destination shard at
+     * the next epoch barrier) instead of being scheduled on the
+     * sender's queue. The link's latency must be >= the engine's
+     * lookahead.
+     */
+    void setCrossShardOutbox(DeliveryMailbox *outbox) { outbox_ = outbox; }
+    bool crossShard() const { return outbox_ != nullptr; }
+
     // Statistics.
     std::uint64_t packetsSent() const { return packets_; }
     std::uint64_t bytesSent() const { return bytes_; }
@@ -103,6 +141,10 @@ class Link
 
     Tick busyUntil_ = 0;
     std::function<bool(const Packet &)> dropFilter_;
+    std::uint32_t orderingId_ = 0;
+    /** Delivered-packet count; the low half of the delivery key. */
+    std::uint64_t deliverySeq_ = 0;
+    DeliveryMailbox *outbox_ = nullptr;
 
     std::uint64_t packets_ = 0;
     std::uint64_t bytes_ = 0;

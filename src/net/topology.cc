@@ -216,4 +216,32 @@ Topology::hopCount(NodeId a, NodeId b) const
     return 1u + distance_[sb][sa];
 }
 
+std::uint32_t
+Topology::numTors() const
+{
+    return static_cast<std::uint32_t>(
+        std::count(torFlag_.begin(), torFlag_.end(), true));
+}
+
+std::vector<std::uint32_t>
+Topology::rackPartition(std::uint32_t shards) const
+{
+    std::uint32_t tors = numTors();
+    ns_assert(shards >= 1 && shards <= tors, "shard count ", shards,
+              " outside [1, ", tors, "]");
+    std::vector<std::uint32_t> assignment(numSwitches(), 0);
+    std::uint32_t tor = 0, spine = 0;
+    std::uint32_t spines = numSwitches() - tors;
+    for (SwitchId s = 0; s < numSwitches(); ++s) {
+        if (torFlag_[s]) {
+            assignment[s] = tor++ * shards / tors;
+        } else {
+            // Proportional spread keeps the spine load per shard even
+            // whether or not the counts divide.
+            assignment[s] = spine++ * shards / spines;
+        }
+    }
+    return assignment;
+}
+
 } // namespace netsparse

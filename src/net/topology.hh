@@ -111,6 +111,22 @@ class Topology
     /** Nodes attached to the same switch as @p n (including @p n). */
     std::uint32_t nodesPerTor() const { return nodesPerTor_; }
 
+    /** Number of switches with hosts attached (= racks). */
+    std::uint32_t numTors() const;
+
+    /**
+     * Rack-granular partition of the switch graph into @p shards
+     * pieces for the parallel engine (sim/shard_engine.hh): ToR r of R
+     * gets shard r*shards/R (contiguous rack blocks), switches without
+     * hosts (spines) are spread proportionally. Every host then lives
+     * in its ToR's shard, so the only cross-shard edges are
+     * switch-to-switch links - each one a Link whose latency bounds
+     * the engine's lookahead. @p shards must be in [1, numTors()].
+     *
+     * @return per-switch shard ids.
+     */
+    std::vector<std::uint32_t> rackPartition(std::uint32_t shards) const;
+
   private:
     void addSwitchLink(SwitchId a, SwitchId b, double bwMult);
     void attachHost(SwitchId s, NodeId n);

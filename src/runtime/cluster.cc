@@ -1,9 +1,13 @@
 #include "runtime/cluster.hh"
 
 #include <algorithm>
+#include <memory>
+#include <vector>
 
+#include "runtime/shard_map.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
+#include "sim/shard_engine.hh"
 #include "sim/stats_export.hh"
 
 namespace netsparse {
@@ -60,7 +64,27 @@ ClusterSim::runGather(const Csr &m, const Partition1D &part,
     }();
     ns_assert(topo.numNodes() == cfg_.numNodes, "topology node mismatch");
 
-    EventQueue eq;
+    // --- Shard map and per-shard event queues ---
+    // Rack-granular partition: a ToR plus its rack's hosts and SNICs
+    // share one queue; a zero-latency link would leave no lookahead,
+    // so such configurations fall back to a single shard.
+    std::uint32_t shard_request =
+        resolveShardCount(cfg_.simShards, topo.numTors());
+    if (cfg_.link.latency == 0)
+        shard_request = 1;
+    ShardMap shard_map = ShardMap::build(topo, shard_request);
+    const std::uint32_t num_shards = shard_map.numShards;
+
+    std::vector<std::unique_ptr<EventQueue>> queues;
+    queues.reserve(num_shards);
+    for (std::uint32_t s = 0; s < num_shards; ++s)
+        queues.push_back(std::make_unique<EventQueue>());
+    auto node_queue = [&](NodeId n) -> EventQueue & {
+        return *queues[shard_map.shardOfNode(n)];
+    };
+    auto switch_queue = [&](SwitchId s) -> EventQueue & {
+        return *queues[shard_map.shardOfSwitch(s)];
+    };
 
     // --- SNICs ---
     SnicConfig snic_cfg = cfg_.snic;
@@ -81,7 +105,7 @@ ClusterSim::runGather(const Csr &m, const Partition1D &part,
     snics.reserve(cfg_.numNodes);
     for (NodeId nid = 0; nid < cfg_.numNodes; ++nid) {
         snics.push_back(std::make_unique<Snic>(
-            eq, snic_cfg, nid, owner_of, m.cols,
+            node_queue(nid), snic_cfg, nid, owner_of, m.cols,
             "node" + std::to_string(nid) + ".snic"));
     }
 
@@ -108,13 +132,41 @@ ClusterSim::runGather(const Csr &m, const Partition1D &part,
             cfg_.features.switchCache ? cfg_.propertyCacheBytes : 0;
         sw_cfg.cachePerPipe = cfg_.cachePerPipe;
         switches.push_back(std::make_unique<Switch>(
-            eq, sw_cfg, sid, "switch" + std::to_string(sid)));
+            switch_queue(sid), sw_cfg, sid,
+            "switch" + std::to_string(sid)));
     }
 
     // --- Links ---
     // One directed link per (switch port, direction) plus one egress
-    // link per host NIC.
+    // link per host NIC. Ordering ids are assigned in construction
+    // order - a per-run-deterministic numbering that forms the
+    // same-tick arrival tie-break at every sink, which is what keeps
+    // execution identical across shard counts.
+    //
+    // Cross-shard links (always switch-to-switch under the rack
+    // partition) deposit deliveries into per-(src, dst) shard
+    // mailboxes; their minimum latency is the engine's lookahead.
+    struct alignas(64) PaddedMailbox
+    {
+        DeliveryMailbox box; // padded: neighbors belong to other threads
+    };
+    std::vector<std::vector<PaddedMailbox>> mailboxes(num_shards);
+    for (auto &row : mailboxes)
+        row = std::vector<PaddedMailbox>(num_shards);
+    Tick lookahead = maxTick;
+    std::uint32_t next_link_id = 0;
     std::vector<std::unique_ptr<Link>> links;
+
+    auto bind_link = [&](Link &link, std::uint32_t src_shard,
+                         std::uint32_t dst_shard, Tick latency) {
+        link.setOrderingId(next_link_id++);
+        if (src_shard != dst_shard) {
+            link.setCrossShardOutbox(
+                &mailboxes[src_shard][dst_shard].box);
+            lookahead = std::min(lookahead, latency);
+        }
+    };
+
     for (SwitchId sid = 0; sid < topo.numSwitches(); ++sid) {
         const auto &ports = topo.ports(sid);
         for (std::uint32_t p = 0; p < ports.size(); ++p) {
@@ -125,30 +177,41 @@ ClusterSim::runGather(const Csr &m, const Partition1D &part,
                 peer.bwMultiplier);
             PacketSink *sink = nullptr;
             std::uint32_t sink_port = 0;
+            std::uint32_t dst_shard = 0;
             bool to_host = false;
             if (peer.kind == PortPeer::Kind::Host) {
                 sink = snics[peer.id].get();
                 to_host = true;
+                dst_shard = shard_map.shardOfNode(peer.id);
+                ns_assert(dst_shard == shard_map.shardOfSwitch(sid),
+                          "host severed from its ToR by the partition");
             } else {
                 sink = switches[peer.id].get();
                 sink_port = peer.peerPort;
+                dst_shard = shard_map.shardOfSwitch(peer.id);
             }
             links.push_back(std::make_unique<Link>(
-                eq, lc, cfg_.proto, sink, sink_port,
+                switch_queue(sid), lc, cfg_.proto, sink, sink_port,
                 "sw" + std::to_string(sid) + ".p" + std::to_string(p)));
+            bind_link(*links.back(), shard_map.shardOfSwitch(sid),
+                      dst_shard, lc.latency);
             switches[sid]->attachPort(p, links.back().get(), to_host);
         }
     }
-    // Host egress links (NIC -> ToR).
+    // Host egress links (NIC -> ToR); always intra-shard.
     std::vector<Link *> nic_egress(cfg_.numNodes);
     for (NodeId nid = 0; nid < cfg_.numNodes; ++nid) {
         SwitchId tor = topo.switchOf(nid);
         links.push_back(std::make_unique<Link>(
-            eq, cfg_.link, cfg_.proto, switches[tor].get(),
+            node_queue(nid), cfg_.link, cfg_.proto, switches[tor].get(),
             topo.hostPort(nid), "node" + std::to_string(nid) + ".tx"));
+        bind_link(*links.back(), shard_map.shardOfNode(nid),
+                  shard_map.shardOfSwitch(tor), cfg_.link.latency);
         nic_egress[nid] = links.back().get();
         snics[nid]->attachEgress(links.back().get());
     }
+    ns_assert(num_shards == 1 || (lookahead > 0 && lookahead != maxTick),
+              "multi-shard run without a positive cross-shard latency");
 
     // --- Routing and per-kernel configuration ---
     for (SwitchId sid = 0; sid < topo.numSwitches(); ++sid) {
@@ -164,23 +227,65 @@ ClusterSim::runGather(const Csr &m, const Partition1D &part,
     // --- Hosts ---
     std::vector<std::unique_ptr<HostNode>> hosts;
     hosts.reserve(cfg_.numNodes);
-    std::uint32_t done_count = 0;
     for (NodeId nid = 0; nid < cfg_.numNodes; ++nid) {
         std::vector<std::uint32_t> stream(
             m.colIdx.begin() + m.rowPtr[part.begin(nid)],
             m.colIdx.begin() + m.rowPtr[part.end(nid)]);
         hosts.push_back(std::make_unique<HostNode>(
-            eq, cfg_.host, *snics[nid], std::move(stream), prop_bytes));
+            node_queue(nid), cfg_.host, *snics[nid], std::move(stream),
+            prop_bytes));
     }
+    // Completion is read off HostNode::done() after the run; a shared
+    // counter would be written concurrently from several shards.
     for (auto &h : hosts)
-        h->start([&done_count] { ++done_count; });
+        h->start([] {});
 
     // --- Run ---
-    eq.runUntil(cfg_.maxSimTime);
+    Tick final_tick = 0;
+    std::uint64_t executed_events = 0;
+    std::uint64_t epochs = 0;
+    if (num_shards == 1) {
+        queues[0]->runUntil(cfg_.maxSimTime);
+        final_tick = queues[0]->now();
+        executed_events = queues[0]->executedEvents();
+    } else {
+        std::vector<ShardEngine::Shard> shards(num_shards);
+        for (std::uint32_t d = 0; d < num_shards; ++d) {
+            shards[d].eq = queues[d].get();
+            // Drain inbound mailboxes in fixed source order; the
+            // banded delivery keys then restore the canonical event
+            // order inside the destination queue.
+            shards[d].drainInbox = [&mailboxes, &queues, d,
+                                    num_shards] {
+                EventQueue &dst = *queues[d];
+                for (std::uint32_t s = 0; s < num_shards; ++s) {
+                    mailboxes[s][d].box.drain(
+                        [&dst](PendingDelivery &&rec) {
+                            dst.scheduleDelivery(
+                                rec.when, rec.key,
+                                [sink = rec.sink, port = rec.port,
+                                 p = std::move(rec.pkt)]() mutable {
+                                    sink->receivePacket(std::move(p),
+                                                        port);
+                                });
+                        });
+                }
+            };
+        }
+        ShardEngine::Result res =
+            ShardEngine::run(std::move(shards), lookahead,
+                             cfg_.maxSimTime);
+        final_tick = res.finalTick;
+        executed_events = res.executedEvents;
+        epochs = res.epochs;
+    }
+    std::uint32_t done_count = 0;
+    for (const auto &h : hosts)
+        done_count += h->done() ? 1 : 0;
     if (done_count != cfg_.numNodes) {
         ns_fatal("gather deadlocked or exceeded the simulation cap: ",
                  done_count, "/", cfg_.numNodes, " nodes finished by ",
-                 ticks::toNs(eq.now()), " ns");
+                 ticks::toNs(final_tick), " ns");
     }
 
     // --- Collect results ---
@@ -223,8 +328,11 @@ ClusterSim::runGather(const Csr &m, const Partition1D &part,
         total_rx_packets ? static_cast<double>(total_rx_prs) /
                                total_rx_packets
                          : 0.0;
-    r.executedEvents = eq.executedEvents();
-    r.finalTick = eq.now();
+    r.executedEvents = executed_events;
+    r.finalTick = final_tick;
+    r.simShards = num_shards;
+    r.lookaheadTicks = num_shards > 1 ? lookahead : 0;
+    r.epochs = epochs;
     if (r.commTicks > 0) {
         double line_bpp = cfg_.link.bandwidth.bytesPerPs();
         const NodeRunStats &tail = r.tail();
@@ -263,8 +371,8 @@ ClusterSim::runGather(const Csr &m, const Partition1D &part,
             switches[sid]->exportStats(reg, prefix);
         }
         reg.set("sim.executedEvents",
-                static_cast<double>(eq.executedEvents()));
-        reg.set("sim.finalTick", static_cast<double>(eq.now()));
+                static_cast<double>(executed_events));
+        reg.set("sim.finalTick", static_cast<double>(final_tick));
     }
     return r;
 }

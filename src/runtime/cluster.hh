@@ -63,6 +63,15 @@ struct ClusterConfig
     /** Use the Section 7.2 virtualized-CQ concatenators. */
     bool virtualizedCqs = false;
 
+    /**
+     * Shards (worker threads) for the parallel engine: 1 runs
+     * sequentially, N partitions the cluster rack-granularly onto N
+     * private event queues (src/runtime/shard_map.hh), 0 consults
+     * NETSPARSE_SIM_SHARDS (default 1). Statistics are byte-identical
+     * at any shard count.
+     */
+    std::uint32_t simShards = 0;
+
     /** Simulation safety cap; exceeding it is a deadlock. */
     Tick maxSimTime = 60 * ticks::s;
 };
@@ -127,6 +136,16 @@ struct GatherRunResult
     std::uint64_t executedEvents = 0;
     /** Simulated time when the event queue drained. */
     Tick finalTick = 0;
+
+    // Parallel-engine observability (not part of the stats-JSON
+    // contract: the exported document must stay byte-identical across
+    // shard counts).
+    /** Shards the run actually used (1 = sequential). */
+    std::uint32_t simShards = 1;
+    /** Conservative lookahead = min cross-shard link latency (0 seq). */
+    Tick lookaheadTicks = 0;
+    /** Epoch barriers the parallel run took (0 sequential). */
+    std::uint64_t epochs = 0;
 
     /** Cache hit rate over all ToR lookups. */
     double

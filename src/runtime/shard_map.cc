@@ -1,0 +1,45 @@
+#include "runtime/shard_map.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace netsparse {
+
+ShardMap
+ShardMap::build(const Topology &topo, std::uint32_t shards)
+{
+    ShardMap map;
+    map.numShards = std::clamp<std::uint32_t>(shards, 1, topo.numTors());
+    map.switchShard = topo.rackPartition(map.numShards);
+    map.nodeShard.resize(topo.numNodes());
+    for (NodeId n = 0; n < topo.numNodes(); ++n)
+        map.nodeShard[n] = map.switchShard[topo.switchOf(n)];
+    return map;
+}
+
+std::uint32_t
+resolveShardCount(std::uint32_t requested, std::uint32_t racks)
+{
+    std::uint32_t want = requested;
+    if (want == 0) {
+        const char *env = std::getenv("NETSPARSE_SIM_SHARDS");
+        if (!env || !*env) {
+            want = 1;
+        } else if (!std::strcmp(env, "racks") ||
+                   !std::strcmp(env, "auto")) {
+            std::uint32_t cores = std::thread::hardware_concurrency();
+            want = std::max<std::uint32_t>(1, std::min(racks, cores));
+        } else {
+            long v = std::strtol(env, nullptr, 10);
+            ns_assert(v >= 1, "bad NETSPARSE_SIM_SHARDS: ", env);
+            want = static_cast<std::uint32_t>(v);
+        }
+    }
+    return std::clamp<std::uint32_t>(want, 1, std::max(1u, racks));
+}
+
+} // namespace netsparse

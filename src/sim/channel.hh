@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Single-producer/single-consumer epoch mailboxes for the sharded
+ * parallel engine.
+ *
+ * An EpochMailbox<T> carries cross-shard messages between exactly one
+ * producing shard and one consuming shard. Access alternates in phases
+ * separated by the engine's epoch barriers: during a run phase only
+ * the producer touches the mailbox (push), during the following drain
+ * phase only the consumer does (drain). The barrier between the two
+ * phases provides the happens-before edge, so the mailbox itself needs
+ * no atomics - it is a plain grow-only vector whose capacity is
+ * recycled across epochs.
+ *
+ * This is deliberately not a concurrent queue: conservative epoch
+ * synchronization already guarantees the producer and consumer never
+ * run in the same phase, and a plain vector keeps the per-message cost
+ * at a push_back.
+ */
+
+#ifndef NETSPARSE_SIM_CHANNEL_HH
+#define NETSPARSE_SIM_CHANNEL_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace netsparse {
+
+template <typename T>
+class EpochMailbox
+{
+  public:
+    /** Producer side: append a message (run phase only). */
+    template <typename... Args>
+    void
+    push(Args &&...args)
+    {
+        box_.emplace_back(std::forward<Args>(args)...);
+    }
+
+    /**
+     * Consumer side: invoke @p fn on every queued message in push
+     * order, then clear the mailbox keeping its capacity (drain phase
+     * only).
+     */
+    template <typename Fn>
+    void
+    drain(Fn &&fn)
+    {
+        for (T &msg : box_)
+            fn(std::move(msg));
+        box_.clear();
+    }
+
+    bool empty() const { return box_.empty(); }
+    std::size_t size() const { return box_.size(); }
+
+  private:
+    std::vector<T> box_;
+};
+
+} // namespace netsparse
+
+#endif // NETSPARSE_SIM_CHANNEL_HH

@@ -32,9 +32,9 @@ EventQueue::~EventQueue()
 }
 
 void
-EventQueue::enqueue(Tick when, std::uint32_t slot)
+EventQueue::enqueue(Tick when, std::uint64_t key, std::uint32_t slot)
 {
-    Ref r{when, nextSeq_++, slot};
+    Ref r{when, key, slot};
     std::uint64_t b = bucketOf(when);
     if (b <= cursor_) {
         // The active bucket, or behind an already-rotated cursor (the
@@ -158,6 +158,16 @@ EventQueue::runUntil(Tick limit)
     while (advance() && cur_.front().when <= limit)
         step();
     return now_;
+}
+
+void
+EventQueue::fastForward(Tick t)
+{
+    ns_assert(t >= now_, "fastForward into the past: t=", t, " now=",
+              now_);
+    ns_assert(empty() || nextEventTick() >= t,
+              "fastForward would skip pending events");
+    now_ = t;
 }
 
 } // namespace netsparse

@@ -17,9 +17,22 @@
  *  - an overflow min-heap holds far-future events (watchdogs, the
  *    simulation cap) and cascades into the ring as the wheel rotates.
  *
- * Both levels order events by the same (tick, sequence) key the old
- * single priority queue used, so execution order - and therefore every
- * statistic and trace - is bit-identical to a flat sorted queue.
+ * Both levels order events by one deterministic (tick, key) pair. The
+ * 64-bit key carries two disjoint bands:
+ *
+ *  - delivery events (packet arrivals, scheduleDelivery) occupy the
+ *    low band: (link ordering id, per-link packet sequence). The key
+ *    is derived from the traffic itself, so the same packet sorts
+ *    identically no matter which queue it was inserted into or when -
+ *    the property the sharded parallel engine (sim/shard_engine.hh)
+ *    needs for stats that are byte-identical at any shard count;
+ *  - plain schedule() events occupy the high band with an insertion
+ *    sequence, preserving exact same-tick FIFO semantics among
+ *    themselves.
+ *
+ * At equal ticks every delivery therefore runs before every internal
+ * event, mirroring the common sequential case where the arrival was
+ * scheduled (a link latency ago) long before the co-tick timer.
  */
 
 #ifndef NETSPARSE_SIM_EVENT_QUEUE_HH
@@ -55,6 +68,21 @@ class EventQueue
     /** Current simulated time. */
     Tick now() const { return now_; }
 
+    /** First key of the internal (plain schedule) band. */
+    static constexpr std::uint64_t internalKeyBase = 1ull << 63;
+
+    /**
+     * The delivery-band ordering key for packet @p seq of the link with
+     * ordering id @p linkId. Strictly below every internal key.
+     */
+    static std::uint64_t
+    deliveryKey(std::uint32_t linkId, std::uint64_t seq)
+    {
+        ns_assert(linkId < (1u << 23), "link ordering id overflow");
+        ns_assert(seq < (1ull << 40), "per-link sequence overflow");
+        return (static_cast<std::uint64_t>(linkId) << 40) | seq;
+    }
+
     /**
      * Schedule @p fn to run at absolute time @p when.
      * @pre when >= now(), i.e. no scheduling into the past (enforced).
@@ -63,15 +91,26 @@ class EventQueue
     void
     schedule(Tick when, F &&fn)
     {
-        using D = std::decay_t<F>;
-        static_assert(std::is_invocable_v<D &>,
-                      "event callbacks take no arguments");
         ns_assert(when >= now_, "event scheduled in the past: when=", when,
                   " now=", now_);
-        std::uint32_t slot = pool_.acquire();
-        detail::EventVtable<D>::construct(pool_.slot(slot),
-                                          std::forward<F>(fn));
-        enqueue(when, slot);
+        emplace(when, nextSeq_++, std::forward<F>(fn));
+    }
+
+    /**
+     * Schedule a packet delivery under an explicit delivery-band
+     * @p key (see deliveryKey). Same-tick deliveries execute before
+     * internal events, ordered by key - an order that is a function of
+     * the traffic alone, so it is identical whether the delivery was
+     * scheduled locally or merged in from another shard's channel.
+     */
+    template <typename F>
+    void
+    scheduleDelivery(Tick when, std::uint64_t key, F &&fn)
+    {
+        ns_assert(when >= now_, "delivery scheduled in the past: when=",
+                  when, " now=", now_);
+        ns_assert(key < internalKeyBase, "delivery key in internal band");
+        emplace(when, key, std::forward<F>(fn));
     }
 
     /** Schedule @p fn to run @p delay ticks from now. */
@@ -112,6 +151,14 @@ class EventQueue
     /** Event-pool slot watermark (for the perf benchmark). */
     std::size_t poolCapacity() const { return pool_.capacity(); }
 
+    /**
+     * Advance now() to @p t without executing anything. The parallel
+     * engine uses this after the epoch loop so every shard's clock
+     * agrees on the global final tick (e.g. link utilization divides
+     * by now()). No pending event may precede @p t.
+     */
+    void fastForward(Tick t);
+
   private:
     /** Ticks per wheel bucket, as a shift: 4096 ps (~4 ns). */
     static constexpr unsigned bucketShift = 12;
@@ -123,15 +170,15 @@ class EventQueue
      */
     static constexpr std::size_t numBuckets = 1024;
 
-    /** A scheduled event: its key plus the pooled closure's slot. */
+    /** A scheduled event: its ordering key plus the closure's slot. */
     struct Ref
     {
         Tick when;
-        std::uint64_t seq;
+        std::uint64_t key;
         std::uint32_t slot;
     };
 
-    /** Min-heap comparator over the deterministic (tick, seq) key. */
+    /** Min-heap comparator over the deterministic (tick, key) pair. */
     struct Later
     {
         bool
@@ -139,14 +186,28 @@ class EventQueue
         {
             if (a.when != b.when)
                 return a.when > b.when;
-            return a.seq > b.seq;
+            return a.key > b.key;
         }
     };
 
     static std::uint64_t bucketOf(Tick t) { return t >> bucketShift; }
 
+    /** Pool the closure and route it to the right level. */
+    template <typename F>
+    void
+    emplace(Tick when, std::uint64_t key, F &&fn)
+    {
+        using D = std::decay_t<F>;
+        static_assert(std::is_invocable_v<D &>,
+                      "event callbacks take no arguments");
+        std::uint32_t slot = pool_.acquire();
+        detail::EventVtable<D>::construct(pool_.slot(slot),
+                                          std::forward<F>(fn));
+        enqueue(when, key, slot);
+    }
+
     /** Route an already-pooled event to the right level. */
-    void enqueue(Tick when, std::uint32_t slot);
+    void enqueue(Tick when, std::uint64_t key, std::uint32_t slot);
 
     /**
      * Ensure cur_ holds the globally earliest events (rotating the
@@ -180,7 +241,7 @@ class EventQueue
     std::size_t size_ = 0;
 
     Tick now_ = 0;
-    std::uint64_t nextSeq_ = 0;
+    std::uint64_t nextSeq_ = internalKeyBase;
     std::uint64_t executed_ = 0;
 };
 

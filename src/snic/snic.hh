@@ -111,6 +111,14 @@ class Snic : public PacketSink, public SnicContext
 
     const std::string &name() const { return name_; }
 
+    /**
+     * The event queue this SNIC schedules on. Under the parallel
+     * engine the host must share it (host/host_node.cc asserts so):
+     * doorbells and completions cross the host/SNIC boundary without a
+     * Link, so the pair is indivisible for sharding.
+     */
+    EventQueue &eventQueue() const { return eq_; }
+
   private:
     EventQueue &eq_;
     SnicConfig cfg_;

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The parallel engine's headline guarantee: a gather produces
+ * byte-identical statistics at any shard count. These tests run the
+ * same small cluster at 1, 2 and 4 shards and compare the complete
+ * netsparse-stats-v1 JSON documents, plus the scalar run results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "runtime/cluster.hh"
+#include "sim/stats_export.hh"
+#include "sparse/generators.hh"
+
+using namespace netsparse;
+
+namespace {
+
+/** 16 nodes over 4 racks, so up to 4 shards are available. */
+ClusterConfig
+shardableCluster(std::uint32_t shards)
+{
+    ClusterConfig cfg = defaultClusterConfig(16);
+    cfg.nodesPerRack = 4;
+    cfg.numSpines = 4;
+    cfg.simShards = shards;
+    return cfg;
+}
+
+/** Run one gather under a private collector; return its JSON document. */
+std::string
+runToJson(ClusterConfig cfg, const Csr &m, const Partition1D &part,
+          GatherRunResult *out = nullptr)
+{
+    StatsExport collector;
+    collector.setCollect(true);
+    StatsExport::Bind bind(collector);
+    ClusterSim sim(cfg);
+    GatherRunResult r = sim.runGather(m, part, 16);
+    if (out)
+        *out = r;
+    return collector.toJson();
+}
+
+} // namespace
+
+TEST(ParallelGather, StatsJsonIsByteIdenticalAcrossShardCounts)
+{
+    Csr m = makeBenchmarkMatrix(MatrixKind::Arabic, 0.02);
+    Partition1D part = Partition1D::equalRows(m.rows, 16);
+
+    GatherRunResult seq;
+    std::string ref = runToJson(shardableCluster(1), m, part, &seq);
+    EXPECT_EQ(seq.simShards, 1u);
+    EXPECT_EQ(seq.epochs, 0u);
+
+    for (std::uint32_t shards : {2u, 4u}) {
+        GatherRunResult par;
+        std::string got =
+            runToJson(shardableCluster(shards), m, part, &par);
+        EXPECT_EQ(par.simShards, shards);
+        EXPECT_GT(par.epochs, 0u);
+        EXPECT_EQ(got, ref) << "stats diverged at " << shards
+                            << " shards";
+        // The scalar results agree too (same events, same end of time).
+        EXPECT_EQ(par.commTicks, seq.commTicks);
+        EXPECT_EQ(par.tailNode, seq.tailNode);
+        EXPECT_EQ(par.executedEvents, seq.executedEvents);
+        EXPECT_EQ(par.finalTick, seq.finalTick);
+        EXPECT_EQ(par.totalWireBytes, seq.totalWireBytes);
+    }
+}
+
+TEST(ParallelGather, LookaheadIsTheCrossShardLinkLatency)
+{
+    Csr m = makeBenchmarkMatrix(MatrixKind::Queen, 0.02);
+    Partition1D part = Partition1D::equalRows(m.rows, 16);
+    ClusterConfig cfg = shardableCluster(4);
+    ClusterSim sim(cfg);
+    GatherRunResult r = sim.runGather(m, part, 16);
+    EXPECT_EQ(r.simShards, 4u);
+    // All links share one configured latency, so the conservative
+    // lookahead equals it exactly.
+    EXPECT_EQ(r.lookaheadTicks, cfg.link.latency);
+}
+
+TEST(ParallelGather, AllTopologiesAreDeterministicWhenSharded)
+{
+    // HyperX and Dragonfly are fixed 128-node configurations; compare
+    // the 1-shard and 4-shard documents on a tiny matrix.
+    Csr m = makeBenchmarkMatrix(MatrixKind::Europe, 0.02);
+    Partition1D part = Partition1D::equalRows(m.rows, 128);
+    for (TopologyKind kind :
+         {TopologyKind::LeafSpine, TopologyKind::HyperX,
+          TopologyKind::Dragonfly}) {
+        ClusterConfig cfg = defaultClusterConfig(128);
+        cfg.topology = kind;
+        cfg.simShards = 1;
+        GatherRunResult seq;
+        std::string ref = runToJson(cfg, m, part, &seq);
+        cfg.simShards = 4;
+        GatherRunResult par;
+        std::string got = runToJson(cfg, m, part, &par);
+        EXPECT_EQ(par.simShards, 4u);
+        EXPECT_EQ(got, ref)
+            << "stats diverged on " << static_cast<int>(kind);
+        EXPECT_EQ(par.lookaheadTicks, cfg.link.latency);
+        EXPECT_EQ(par.commTicks, seq.commTicks);
+    }
+}
+
+TEST(ParallelGather, RackCountCapsTheShardCount)
+{
+    // One rack: any request collapses to a sequential run.
+    Csr m = makeBenchmarkMatrix(MatrixKind::Arabic, 0.02);
+    Partition1D part = Partition1D::equalRows(m.rows, 8);
+    ClusterConfig cfg = defaultClusterConfig(8);
+    cfg.nodesPerRack = 8;
+    cfg.simShards = 4;
+    ClusterSim sim(cfg);
+    GatherRunResult r = sim.runGather(m, part, 16);
+    EXPECT_EQ(r.simShards, 1u);
+    EXPECT_EQ(r.epochs, 0u);
+}

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Unit tests for the parallel-engine building blocks: the delivery-key
+ * ordering band, EventQueue::fastForward, EpochMailbox channels and the
+ * ShardEngine epoch loop itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/channel.hh"
+#include "sim/event_queue.hh"
+#include "sim/shard_engine.hh"
+
+using namespace netsparse;
+
+// --- Delivery-key ordering band -------------------------------------
+
+TEST(DeliveryKey, StaysBelowTheInternalBand)
+{
+    EXPECT_LT(EventQueue::deliveryKey(0, 0), EventQueue::internalKeyBase);
+    EXPECT_LT(EventQueue::deliveryKey((1u << 23) - 1, (1ull << 40) - 1),
+              EventQueue::internalKeyBase);
+}
+
+TEST(DeliveryKey, OrdersByLinkThenPerLinkSequence)
+{
+    EXPECT_LT(EventQueue::deliveryKey(0, 5), EventQueue::deliveryKey(1, 0));
+    EXPECT_LT(EventQueue::deliveryKey(3, 7), EventQueue::deliveryKey(3, 8));
+}
+
+TEST(DeliveryKey, RejectsOutOfRangeComponents)
+{
+    EXPECT_THROW(EventQueue::deliveryKey(1u << 23, 0), std::logic_error);
+    EXPECT_THROW(EventQueue::deliveryKey(0, 1ull << 40), std::logic_error);
+}
+
+TEST(DeliveryKey, SameTickDeliveriesRunBeforeInternalEvents)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(100, [&] { order.push_back(10); });
+    eq.scheduleDelivery(100, EventQueue::deliveryKey(7, 0),
+                        [&] { order.push_back(1); });
+    eq.scheduleDelivery(100, EventQueue::deliveryKey(2, 3),
+                        [&] { order.push_back(0); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 10}));
+}
+
+TEST(DeliveryKey, ExecutionOrderIsInsertionIndependent)
+{
+    // The property the parallel merge relies on: the same same-tick
+    // deliveries execute identically whether they were scheduled
+    // locally (one insertion order) or merged from a channel (another).
+    auto run = [](std::vector<std::uint32_t> linkOrder) {
+        EventQueue eq;
+        std::vector<std::uint32_t> order;
+        for (std::uint32_t link : linkOrder)
+            eq.scheduleDelivery(50, EventQueue::deliveryKey(link, 0),
+                                [&order, link] { order.push_back(link); });
+        eq.run();
+        return order;
+    };
+    EXPECT_EQ(run({1, 2, 3}), run({3, 1, 2}));
+    EXPECT_EQ(run({5, 4, 0}), run({0, 4, 5}));
+}
+
+TEST(DeliveryKey, RejectsKeysFromTheInternalBand)
+{
+    EventQueue eq;
+    EXPECT_THROW(
+        eq.scheduleDelivery(10, EventQueue::internalKeyBase, [] {}),
+        std::logic_error);
+}
+
+// --- fastForward -----------------------------------------------------
+
+TEST(EventQueueFastForward, AdvancesTheClockWithoutExecuting)
+{
+    EventQueue eq;
+    bool ran = false;
+    eq.schedule(100, [&] { ran = true; });
+    eq.runUntil(60);
+    eq.fastForward(80);
+    EXPECT_EQ(eq.now(), 80u);
+    EXPECT_FALSE(ran);
+    eq.run();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueueFastForward, RefusesToTravelBackwardsOrSkipEvents)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    EXPECT_THROW(eq.fastForward(11), std::logic_error);
+    eq.run();
+    EXPECT_THROW(eq.fastForward(5), std::logic_error);
+}
+
+// --- EpochMailbox ----------------------------------------------------
+
+TEST(EpochMailbox, DrainsInPushOrderAndEmpties)
+{
+    EpochMailbox<int> box;
+    EXPECT_TRUE(box.empty());
+    box.push(1);
+    box.push(2);
+    box.push(3);
+    EXPECT_EQ(box.size(), 3u);
+    std::vector<int> seen;
+    box.drain([&](int &&v) { seen.push_back(v); });
+    EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(box.empty());
+    box.push(4);
+    seen.clear();
+    box.drain([&](int &&v) { seen.push_back(v); });
+    EXPECT_EQ(seen, (std::vector<int>{4}));
+}
+
+// --- ShardEngine -----------------------------------------------------
+
+namespace {
+
+struct Ball
+{
+    Tick when;
+    std::uint64_t key;
+    int hop;
+};
+
+} // namespace
+
+TEST(ShardEngine, SingleShardRunsInlineWithoutThreads)
+{
+    EventQueue eq;
+    int ran = 0;
+    eq.schedule(5, [&] { ran++; });
+    EpochMailbox<Ball> inbox;
+    inbox.push(Ball{3, EventQueue::deliveryKey(0, 0), 0});
+
+    std::vector<ShardEngine::Shard> shards(1);
+    shards[0].eq = &eq;
+    shards[0].drainInbox = [&] {
+        inbox.drain([&](Ball &&b) {
+            eq.scheduleDelivery(b.when, b.key, [&] { ran++; });
+        });
+    };
+    ShardEngine::Result res =
+        ShardEngine::run(std::move(shards), 100, maxTick);
+    EXPECT_EQ(ran, 2);
+    EXPECT_EQ(res.epochs, 0u);
+    EXPECT_EQ(res.executedEvents, 2u);
+    EXPECT_EQ(res.finalTick, 5u);
+}
+
+TEST(ShardEngine, TwoShardPingPongIsExactAndAlignsClocks)
+{
+    // A ball bounces between two shards over a latency-100 channel:
+    // hop h executes at tick (h + 1) * 100 on shard h % 2. Only the
+    // owning worker touches each shard's log, counter and queue; the
+    // mailboxes are the sole cross-thread state, exactly as in the
+    // cluster build.
+    constexpr Tick latency = 100;
+    constexpr int hops = 64;
+
+    EventQueue queues[2];
+    EpochMailbox<Ball> chan[2]; // chan[d]: deliveries into shard d
+    std::vector<std::pair<int, Tick>> log[2];
+    std::uint64_t seq[2] = {0, 0};
+
+    // Worker-side bounce logic; runs on the shard that owns `self`.
+    auto bounce = [&](int self, int hop) {
+        log[self].emplace_back(hop, queues[self].now());
+        if (hop + 1 < hops) {
+            chan[1 - self].push(
+                Ball{queues[self].now() + latency,
+                     EventQueue::deliveryKey(
+                         static_cast<std::uint32_t>(self), seq[self]++),
+                     hop + 1});
+        }
+    };
+
+    std::vector<ShardEngine::Shard> shards(2);
+    for (int d = 0; d < 2; ++d) {
+        shards[d].eq = &queues[d];
+        shards[d].drainInbox = [&, d] {
+            chan[d].drain([&, d](Ball &&b) {
+                queues[d].scheduleDelivery(
+                    b.when, b.key,
+                    [&, d, hop = b.hop] { bounce(d, hop); });
+            });
+        };
+    }
+    // Seed: hop 0 arrives at shard 0 at tick `latency`.
+    chan[0].push(Ball{latency, EventQueue::deliveryKey(1, 0), 0});
+
+    ShardEngine::Result res =
+        ShardEngine::run(std::move(shards), latency, maxTick);
+
+    EXPECT_EQ(res.executedEvents, static_cast<std::uint64_t>(hops));
+    EXPECT_EQ(res.finalTick, static_cast<Tick>(hops) * latency);
+    EXPECT_GT(res.epochs, 0u);
+    // Every hop landed on the right shard at the right tick.
+    ASSERT_EQ(log[0].size() + log[1].size(),
+              static_cast<std::size_t>(hops));
+    for (int d = 0; d < 2; ++d) {
+        for (auto [hop, tick] : log[d]) {
+            EXPECT_EQ(hop % 2, d);
+            EXPECT_EQ(tick, static_cast<Tick>(hop + 1) * latency);
+        }
+    }
+    // fastForward aligned both clocks with the global final tick.
+    EXPECT_EQ(queues[0].now(), res.finalTick);
+    EXPECT_EQ(queues[1].now(), res.finalTick);
+}
+
+TEST(ShardEngine, StopsAtTheLimit)
+{
+    // Per-shard counters: shard workers run concurrently, so (like the
+    // real cluster) a test must not share mutable state across shards.
+    EventQueue q0, q1;
+    int ran[2] = {0, 0};
+    q0.schedule(10, [&] { ran[0]++; });
+    q0.schedule(500, [&] { ran[0] += 100; });
+    q1.schedule(20, [&] { ran[1]++; });
+
+    std::vector<ShardEngine::Shard> shards(2);
+    shards[0].eq = &q0;
+    shards[1].eq = &q1;
+    ShardEngine::Result res = ShardEngine::run(std::move(shards), 50, 100);
+    EXPECT_EQ(ran[0], 1);
+    EXPECT_EQ(ran[1], 1);
+    EXPECT_EQ(res.executedEvents, 2u);
+}
+
+TEST(ShardEngine, PropagatesWorkerExceptions)
+{
+    EventQueue q0, q1;
+    q0.schedule(10, [] { throw std::runtime_error("boom"); });
+    q1.schedule(10, [] {});
+
+    std::vector<ShardEngine::Shard> shards(2);
+    shards[0].eq = &q0;
+    shards[1].eq = &q1;
+    EXPECT_THROW(ShardEngine::run(std::move(shards), 100, maxTick),
+                 std::runtime_error);
+}
+
+TEST(ShardEngine, RejectsZeroLookaheadForMultipleShards)
+{
+    EventQueue q0, q1;
+    std::vector<ShardEngine::Shard> shards(2);
+    shards[0].eq = &q0;
+    shards[1].eq = &q1;
+    EXPECT_THROW(ShardEngine::run(std::move(shards), 0, maxTick),
+                 std::logic_error);
+}
