@@ -22,6 +22,10 @@
  *     --no-cache           disable the Property Cache
  *     --cache-bytes B      Property Cache capacity per ToR
  *     --partition P        rows|nnz                      (default rows)
+ *     --faults SPEC        fault injection, e.g.
+ *                          drop:1e-4,corrupt:1e-5,down:1e-6,downUs:5,
+ *                          degrade:1e-5,degradeUs:20,degradeFactor:0.25,
+ *                          seed:1 (see docs/resilience.md)
  *     --shards N           parallel-engine shards; 0 consults
  *                          NETSPARSE_SIM_SHARDS             (default 0)
  *     --stats              dump the full stats registry
@@ -59,6 +63,9 @@ usage(const char *argv0)
                  "[--no-cache]\n"
                  "  [--cache-bytes B] [--partition rows|nnz] "
                  "[--shards N] [--stats]\n"
+                 "  [--faults drop:R,corrupt:R,down:R,downUs:T,"
+                 "degrade:R,degradeUs:T,\n"
+                 "            degradeFactor:F,seed:S]\n"
                  "  [--stats-json FILE] [--trace-out FILE]\n",
                  argv0);
     std::exit(2);
@@ -81,7 +88,7 @@ main(int argc, char **argv)
     std::string partition = "rows";
     std::uint32_t shards = 0;
     bool dump_stats = false;
-    std::string stats_json, trace_out;
+    std::string stats_json, trace_out, faults_spec;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -116,6 +123,10 @@ main(int argc, char **argv)
             partition = next();
         else if (a == "--shards")
             shards = std::atoi(next());
+        else if (a == "--faults")
+            faults_spec = next();
+        else if (a.rfind("--faults=", 0) == 0)
+            faults_spec = a.substr(9);
         else if (a == "--stats")
             dump_stats = true;
         else if (a == "--stats-json")
@@ -174,6 +185,8 @@ main(int argc, char **argv)
     if (cache_bytes)
         cfg.propertyCacheBytes = cache_bytes;
     cfg.simShards = shards;
+    if (!faults_spec.empty())
+        cfg.faults = FaultConfig::parse(faults_spec);
 
     std::printf("netsparse_sim: %s (%u x %u, %zu nnz), %u nodes, K=%u, "
                 "%s\n",
@@ -215,6 +228,29 @@ main(int argc, char **argv)
                     "lookahead %.0f ns\n",
                     r.simShards, (unsigned long long)r.epochs,
                     ticks::toNs(r.lookaheadTicks));
+    }
+    if (r.faultsEnabled) {
+        auto sum = [&r](auto field) { return r.sumNodes(field); };
+        std::printf("faults injected    : %10llu drops (%llu link-down), "
+                    "%llu corrupt PRs\n",
+                    (unsigned long long)r.packetsDropped,
+                    (unsigned long long)r.linkDownDrops,
+                    (unsigned long long)r.corruptedPrs);
+        std::printf("recovery           : %10llu retransmits, %llu "
+                    "nacks, %llu command retries, %llu permanent "
+                    "failures\n",
+                    (unsigned long long)sum([](const NodeRunStats &n) {
+                        return n.retransmits;
+                    }),
+                    (unsigned long long)sum([](const NodeRunStats &n) {
+                        return n.nacks;
+                    }),
+                    (unsigned long long)sum([](const NodeRunStats &n) {
+                        return n.commandRetries;
+                    }),
+                    (unsigned long long)sum([](const NodeRunStats &n) {
+                        return n.permanentFailures;
+                    }));
     }
     return 0;
 }

@@ -46,7 +46,7 @@ HostNode::pump()
     // window; model it as a self-rescheduling issue loop.
     if (issueScheduled_ || done_)
         return;
-    if (nextOffset_ >= stream_.size())
+    if (nextOffset_ >= stream_.size() && retryQueue_.empty())
         return;
 
     issueScheduled_ = true;
@@ -54,21 +54,36 @@ HostNode::pump()
     coreFreeAt_ = start + cfg_.commandIssueOverhead;
     eq_.schedule(coreFreeAt_, [this] {
         issueScheduled_ = false;
-        if (nextOffset_ >= stream_.size())
-            return;
 
-        std::size_t count = std::min<std::size_t>(
-            cfg_.batchSize, stream_.size() - nextOffset_);
+        // Failed batches are re-posted before fresh work: their idxs
+        // gate the kernel's completion just the same, and draining them
+        // first bounds how long a retried batch can starve.
+        InflightBatch batch;
+        bool fromRetry = !retryQueue_.empty();
+        if (fromRetry) {
+            batch = retryQueue_.front();
+        } else if (nextOffset_ < stream_.size()) {
+            batch.offset = nextOffset_;
+            batch.count = std::min<std::size_t>(
+                cfg_.batchSize, stream_.size() - nextOffset_);
+        } else {
+            return;
+        }
+
         IbvSendWr wr;
         wr.wrId = nextWrId_++;
         wr.opcode = IbvWrOpcode::Rig;
-        wr.rig.idxList = stream_.data() + nextOffset_;
-        wr.rig.numIdxs = count;
+        wr.rig.idxList = stream_.data() + batch.offset;
+        wr.rig.numIdxs = batch.count;
         wr.rig.propBytes = propBytes_;
 
         if (qp_.postSend(wr)) {
             ++commandsIssued_;
-            nextOffset_ += count;
+            if (fromRetry)
+                retryQueue_.pop_front();
+            else
+                nextOffset_ += batch.count;
+            inflightBatches_.emplace(wr.wrId, batch);
             pump(); // keep additional free units fed
         }
         // When no unit was free, a completion will re-invoke pump().
@@ -83,8 +98,25 @@ HostNode::drainCq()
     bool completed = false;
     while (qp_.pollCq(wc)) {
         completed = true;
-        if (wc.status != IbvWc::Status::Success)
+        auto it = inflightBatches_.find(wc.wrId);
+        if (wc.status != IbvWc::Status::Success) {
             ++failures_;
+            if (it != inflightBatches_.end()) {
+                InflightBatch batch = it->second;
+                if (batch.attempts < cfg_.commandRetries) {
+                    // Retry-after-watchdog: re-post the whole batch.
+                    // The SNIC discarded its partial results; filter
+                    // and cache state make the redo cheaper.
+                    ++batch.attempts;
+                    ++commandRetries_;
+                    retryQueue_.push_back(batch);
+                } else {
+                    ++permanentFailures_;
+                }
+            }
+        }
+        if (it != inflightBatches_.end())
+            inflightBatches_.erase(it);
     }
     if (completed && cfg_.policy == BatchPolicy::Adaptive &&
         nextOffset_ < stream_.size()) {
@@ -101,7 +133,8 @@ HostNode::drainCq()
                                           cfg_.batchSize / 4);
         }
     }
-    if (nextOffset_ >= stream_.size() && qp_.outstanding() == 0) {
+    if (nextOffset_ >= stream_.size() && retryQueue_.empty() &&
+        qp_.outstanding() == 0) {
         if (!done_) {
             done_ = true;
             finishTick_ = eq_.now();

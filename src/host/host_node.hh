@@ -13,7 +13,9 @@
 #define NETSPARSE_HOST_HOST_NODE_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "host/verbs.hh"
@@ -55,6 +57,13 @@ struct HostConfig
     BatchPolicy policy = BatchPolicy::Static;
     /** Core time to assemble and post one work request. */
     Tick commandIssueOverhead = 250 * ticks::ns;
+    /**
+     * Re-posts of a RIG command after a watchdog/retry-budget failure
+     * before the host gives up on that batch. The zero-fault path never
+     * fails a command, so this costs nothing when the fabric is
+     * lossless.
+     */
+    std::uint32_t commandRetries = 3;
 };
 
 /** Drives one node's gather through the verbs layer. */
@@ -78,8 +87,14 @@ class HostNode
     /** True once every batch completed (successfully or not). */
     bool done() const { return done_; }
 
-    /** Commands that failed on the watchdog. */
+    /** Command completions that reported failure (pre-retry). */
     std::uint64_t failures() const { return failures_; }
+
+    /** Failed commands the host re-posted. */
+    std::uint64_t commandRetries() const { return commandRetries_; }
+
+    /** Batches abandoned after exhausting commandRetries. */
+    std::uint64_t permanentFailures() const { return permanentFailures_; }
 
     std::uint64_t commandsIssued() const { return commandsIssued_; }
     const std::vector<std::uint32_t> &idxStream() const { return stream_; }
@@ -88,6 +103,15 @@ class HostNode
     std::uint32_t currentBatchSize() const { return cfg_.batchSize; }
 
   private:
+    /** One posted batch, remembered until its completion arrives so a
+     *  watchdog-failed command can be re-posted (retry-after-failure). */
+    struct InflightBatch
+    {
+        std::size_t offset = 0;
+        std::size_t count = 0;
+        std::uint32_t attempts = 0;
+    };
+
     void pump();
     void drainCq();
 
@@ -107,6 +131,13 @@ class HostNode
     std::uint64_t failures_ = 0;
     std::uint64_t commandsIssued_ = 0;
     std::uint64_t nextWrId_ = 1;
+
+    /** Posted batches by wrId (ordered: deterministic bookkeeping). */
+    std::map<std::uint64_t, InflightBatch> inflightBatches_;
+    /** Failed batches waiting to be re-posted, oldest first. */
+    std::deque<InflightBatch> retryQueue_;
+    std::uint64_t commandRetries_ = 0;
+    std::uint64_t permanentFailures_ = 0;
 };
 
 } // namespace netsparse

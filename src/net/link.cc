@@ -20,8 +20,25 @@ Link::send(Packet &&pkt)
     ns_assert(wire <= proto_.mtuBytes, "packet exceeds MTU on ", name_,
               ": ", wire, " > ", proto_.mtuBytes);
 
+    LinkFaultInjector::Verdict verdict;
+    if (faults_)
+        verdict = faults_->onSend(pkt, eq_.now());
+
+    if (verdict.dropBeforeWire) {
+        // A dead port (link-down window) discards the packet before
+        // serialization: no wire time is burned.
+        ++dropped_;
+        droppedBytes_ += wire;
+        NS_TRACE(tw.instant(tw.track(name_), "fault.linkDown",
+                            eq_.now()));
+        return;
+    }
+
     Tick start = std::max(eq_.now(), busyUntil_);
     Tick ser = cfg_.bandwidth.serialize(wire);
+    if (verdict.bandwidthFactor != 1.0)
+        ser = static_cast<Tick>(static_cast<double>(ser) /
+                                verdict.bandwidthFactor);
     busyUntil_ = start + ser;
     busyTicks_ += ser;
 
@@ -31,7 +48,7 @@ Link::send(Packet &&pkt)
                    {"prs", static_cast<double>(pkt.prs.size())},
                    {"dest", static_cast<double>(pkt.dest)}})));
 
-    if (dropFilter_ && dropFilter_(pkt)) {
+    if (verdict.dropOnWire) {
         // A dropped packet burns wire time (accounted above via
         // busyTicks_) but is never delivered, so it counts only in the
         // drop statistics - not in the sent packet/byte/payload totals.
@@ -40,6 +57,9 @@ Link::send(Packet &&pkt)
         NS_TRACE(tw.instant(tw.track(name_), "drop", busyUntil_));
         return;
     }
+    if (verdict.corrupted)
+        NS_TRACE(tw.instant(tw.track(name_), "fault.corrupt",
+                            busyUntil_));
 
     ++packets_;
     bytes_ += wire;

@@ -7,16 +7,19 @@
  * wireBytes/bandwidth, waits behind earlier packets (busy-until chain),
  * then propagates for the configured latency. This captures the
  * first-order queueing contention that shapes the paper's results; the
- * network is lossless (Section 7.1), so there is no drop path except an
- * explicit fault-injection filter used by the watchdog tests.
+ * network is lossless (Section 7.1) unless a fault model is configured,
+ * in which case the link's LinkFaultInjector decides per packet whether
+ * it is dropped, corrupted, delayed or discarded (see
+ * net/fault_model.hh).
  */
 
 #ifndef NETSPARSE_NET_LINK_HH
 #define NETSPARSE_NET_LINK_HH
 
-#include <functional>
+#include <memory>
 #include <string>
 
+#include "net/fault_model.hh"
 #include "net/protocol.hh"
 #include "sim/channel.hh"
 #include "sim/event_queue.hh"
@@ -85,14 +88,19 @@ class Link
     }
 
     /**
-     * Install a fault-injection filter: packets for which it returns
-     * true consume wire time but are never delivered (lost).
+     * Attach a fault injector configured from @p cfg. Must run after
+     * setOrderingId: the injector keys its deterministic fault stream
+     * on the link's cluster-wide ordering id.
      */
     void
-    setDropFilter(std::function<bool(const Packet &)> filter)
+    configureFaults(const FaultConfig &cfg)
     {
-        dropFilter_ = std::move(filter);
+        faults_ = std::make_unique<LinkFaultInjector>(cfg, orderingId_);
     }
+
+    /** The attached injector, or nullptr when the link is lossless. */
+    LinkFaultInjector *faults() { return faults_.get(); }
+    const LinkFaultInjector *faults() const { return faults_.get(); }
 
     /**
      * Assign the cluster-wide ordering id used to build delivery keys.
@@ -140,7 +148,7 @@ class Link
     std::string name_;
 
     Tick busyUntil_ = 0;
-    std::function<bool(const Packet &)> dropFilter_;
+    std::unique_ptr<LinkFaultInjector> faults_;
     std::uint32_t orderingId_ = 0;
     /** Delivered-packet count; the low half of the delivery key. */
     std::uint64_t deliverySeq_ = 0;

@@ -51,6 +51,12 @@ struct PropertyRequest
     std::uint32_t payloadBytes = 0;
     /** Deterministic checksum of the property data (responses). */
     std::uint64_t checksum = 0;
+    /**
+     * Skip the in-switch Property Cache for this read (a header flag
+     * bit, no wire-size cost). Set on corruption refetches so a
+     * poisoned cache entry cannot satisfy them.
+     */
+    bool bypassCache = false;
 };
 
 /** Header-size and MTU parameters (paper Table 5 defaults). */

@@ -88,11 +88,17 @@ Switch::processMiddlePipe(Packet &&pkt, std::uint32_t in_port)
     // their ingress port (Figure 8).
     std::uint32_t pipe = pkt.type == PrType::Read ? pipeOf(egress)
                                                   : pipeOf(in_port);
-    pipe %= static_cast<std::uint32_t>(concats_.size());
+    // Every attached port maps to a configured pipe; a pipe index out
+    // of range means configureForKernel built fewer pipes than the
+    // port layout implies, and silently wrapping it would route PRs
+    // through the wrong pipe's cache slice.
+    ns_assert(pipe < concats_.size(), "pipe ", pipe, " out of range on ",
+              name_, " (", concats_.size(), " middle pipes)");
     // With the shared organization there is a single cache array; in
     // per-pipe mode each middle pipe owns a slice (see header comment).
-    PropertyCache &cache =
-        *caches_[cfg_.cachePerPipe ? pipe % caches_.size() : 0];
+    ns_assert(!cfg_.cachePerPipe || pipe < caches_.size(),
+              "pipe ", pipe, " has no cache slice on ", name_);
+    PropertyCache &cache = *caches_[cfg_.cachePerPipe ? pipe : 0];
     Concatenator &concat = *concats_[pipe];
 
     NodeId pkt_dest = pkt.dest;
@@ -101,7 +107,16 @@ Switch::processMiddlePipe(Packet &&pkt, std::uint32_t in_port)
         tw.track(name_), "deconcat", eq_.now(),
         traceArgs({{"prs", static_cast<double>(prs.size())}})));
     for (auto &pr : prs) {
-        if (pr.type == PrType::Read && from_host && !egress_host) {
+        if (pr.type == PrType::Read && from_host && !egress_host &&
+            pr.bypassCache) {
+            // A corruption refetch: the requester demands the
+            // authoritative home-node copy, not a possibly-poisoned
+            // cached one.
+            ++cacheBypasses_;
+            NS_TRACE(tw.instant(
+                tw.track(name_), "cache.bypass", eq_.now(),
+                traceArgs({{"idx", static_cast<double>(pr.idx)}})));
+        } else if (pr.type == PrType::Read && from_host && !egress_host) {
             // A read leaving the rack: try to serve it locally.
             std::uint64_t csum = 0;
             if (cache.lookup(pr.idx, csum)) {
@@ -119,6 +134,16 @@ Switch::processMiddlePipe(Packet &&pkt, std::uint32_t in_port)
             }
             NS_TRACE(tw.instant(
                 tw.track(name_), "cache.miss", eq_.now(),
+                traceArgs({{"idx", static_cast<double>(pr.idx)}})));
+        } else if (pr.type == PrType::Response && !from_host &&
+                   egress_host && cfg_.verifyResponses &&
+                   pr.checksum != propertyChecksum(pr.idx)) {
+            // A corrupt response must not poison the cache. It is
+            // still forwarded: the requesting RIG unit detects the bad
+            // checksum and NACK-refetches.
+            ++poisonRejected_;
+            NS_TRACE(tw.instant(
+                tw.track(name_), "cache.poisonRejected", eq_.now(),
                 traceArgs({{"idx", static_cast<double>(pr.idx)}})));
         } else if (pr.type == PrType::Response && !from_host &&
                    egress_host) {
@@ -197,6 +222,14 @@ Switch::exportStats(StatRegistry &reg, const std::string &prefix) const
         return;
     reg.set(prefix + ".prsServedByCache",
             static_cast<double>(servedByCache_));
+    if (cfg_.verifyResponses) {
+        // Resilience keys exist only when fault handling is on, so a
+        // zero-fault run's document is unchanged.
+        reg.set(prefix + ".cache.poisonRejected",
+                static_cast<double>(poisonRejected_));
+        reg.set(prefix + ".cache.bypasses",
+                static_cast<double>(cacheBypasses_));
+    }
     if (caches_.size() == 1) {
         caches_[0]->exportStats(reg, prefix + ".cache");
     } else {

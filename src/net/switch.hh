@@ -66,6 +66,13 @@ struct SwitchConfig
     PropertyCacheConfig cache;
     /** Split the cache per middle pipe (Figure 8) vs one shared array. */
     bool cachePerPipe = false;
+    /**
+     * Verify response checksums before Property Cache insertion and
+     * reject mismatches (cache poisoning protection). Enabled by the
+     * cluster whenever fault injection is active; off by default so the
+     * lossless fast path stays untouched.
+     */
+    bool verifyResponses = false;
 };
 
 /** One switch. */
@@ -103,6 +110,10 @@ class Switch : public PacketSink
     std::uint64_t cacheEvictions() const;
     std::uint64_t prsServedByCache() const { return servedByCache_; }
     std::uint64_t packetsForwarded() const { return forwarded_; }
+    /** Corrupt responses kept out of the cache (verifyResponses). */
+    std::uint64_t poisonRejected() const { return poisonRejected_; }
+    /** Reads that skipped the cache on the requester's demand. */
+    std::uint64_t cacheBypasses() const { return cacheBypasses_; }
 
     /**
      * Register this switch's counters under "<prefix>." following the
@@ -143,6 +154,8 @@ class Switch : public PacketSink
 
     std::uint64_t servedByCache_ = 0;
     std::uint64_t forwarded_ = 0;
+    std::uint64_t poisonRejected_ = 0;
+    std::uint64_t cacheBypasses_ = 0;
 };
 
 } // namespace netsparse

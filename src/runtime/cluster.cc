@@ -96,6 +96,11 @@ ClusterSim::runGather(const Csr &m, const Partition1D &part,
     snic_cfg.concat.enabled = cfg_.features.concatNic;
     snic_cfg.concat.delay = snic_clock.cycles(cfg_.nicConcatDelayCycles);
     snic_cfg.concat.virtualized = cfg_.virtualizedCqs;
+    // A lossy fabric needs the reliable-PR layer to terminate; the
+    // user may also enable it explicitly on a lossless one.
+    if (cfg_.faults.enabled())
+        snic_cfg.rigUnit.retry.enabled = true;
+    const bool recovery_enabled = snic_cfg.rigUnit.retry.enabled;
 
     auto owner_of = [&part](PropIdx idx) {
         return part.ownerOf(static_cast<std::uint32_t>(idx));
@@ -131,6 +136,8 @@ ClusterSim::runGather(const Csr &m, const Partition1D &part,
         sw_cfg.cache.totalBytes =
             cfg_.features.switchCache ? cfg_.propertyCacheBytes : 0;
         sw_cfg.cachePerPipe = cfg_.cachePerPipe;
+        // Corrupt responses must not poison the rack caches.
+        sw_cfg.verifyResponses = cfg_.faults.enabled();
         switches.push_back(std::make_unique<Switch>(
             switch_queue(sid), sw_cfg, sid,
             "switch" + std::to_string(sid)));
@@ -160,6 +167,10 @@ ClusterSim::runGather(const Csr &m, const Partition1D &part,
     auto bind_link = [&](Link &link, std::uint32_t src_shard,
                          std::uint32_t dst_shard, Tick latency) {
         link.setOrderingId(next_link_id++);
+        // The injector keys its fault stream on the ordering id just
+        // assigned, so the injected pattern is shard-count-invariant.
+        if (cfg_.faults.enabled())
+            link.configureFaults(cfg_.faults);
         if (src_shard != dst_shard) {
             link.setCrossShardOutbox(
                 &mailboxes[src_shard][dst_shard].box);
@@ -305,6 +316,13 @@ ClusterSim::runGather(const Csr &m, const Partition1D &part,
         st.pendingStalls = cs.pendingStalls;
         st.txStalls = cs.txStalls;
         st.commandsIssued = hosts[nid]->commandsIssued();
+        st.retransmits = cs.retransmits;
+        st.nacks = cs.nacks;
+        st.corruptDropped = cs.corruptDropped;
+        st.duplicatesSuppressed = cs.duplicatesSuppressed;
+        st.retriesExhausted = cs.retriesExhausted;
+        st.commandRetries = hosts[nid]->commandRetries();
+        st.permanentFailures = hosts[nid]->permanentFailures();
         st.rxPackets = snics[nid]->rxPackets();
         st.rxBytes = snics[nid]->rxBytes();
         st.rxPayloadBytes = snics[nid]->rxPayloadBytes();
@@ -317,12 +335,24 @@ ClusterSim::runGather(const Csr &m, const Partition1D &part,
             r.tailNode = nid;
         }
     }
-    for (const auto &l : links)
+    r.recoveryEnabled = recovery_enabled;
+    r.faultsEnabled = cfg_.faults.enabled();
+    for (const auto &l : links) {
         r.totalWireBytes += l->bytesSent();
+        r.packetsDropped += l->packetsDropped();
+        if (const LinkFaultInjector *fi = l->faults()) {
+            r.corruptedPrs += fi->stats().corruptedPrs;
+            r.linkDownDrops += fi->stats().linkDownDrops;
+            r.linkDownTicks += fi->stats().linkDownTicks;
+            r.degradedTicks += fi->stats().degradedTicks;
+        }
+    }
     for (const auto &sw : switches) {
         r.cacheLookups += sw->cacheLookups();
         r.cacheHits += sw->cacheHits();
         r.prsServedByCache += sw->prsServedByCache();
+        r.cachePoisonRejected += sw->poisonRejected();
+        r.cacheBypasses += sw->cacheBypasses();
     }
     r.avgPrsPerPacket =
         total_rx_packets ? static_cast<double>(total_rx_prs) /
@@ -392,6 +422,57 @@ GatherRunResult::exportStats(StatRegistry &reg) const
             static_cast<double>(prsServedByCache));
     reg.set("cluster.tailGoodput", tailGoodput);
     reg.set("cluster.tailLineUtil", tailLineUtil);
+
+    // Resilience keys, gated on their subsystems so a lossless,
+    // retry-off run exports the exact pre-resilience document.
+    if (recoveryEnabled) {
+        reg.set("cluster.recovery.retransmits",
+                static_cast<double>(sumNodes(
+                    [](const NodeRunStats &n) { return n.retransmits; })));
+        reg.set("cluster.recovery.nacks",
+                static_cast<double>(sumNodes(
+                    [](const NodeRunStats &n) { return n.nacks; })));
+        reg.set("cluster.recovery.corruptDropped",
+                static_cast<double>(sumNodes([](const NodeRunStats &n) {
+                    return n.corruptDropped;
+                })));
+        reg.set("cluster.recovery.duplicatesSuppressed",
+                static_cast<double>(sumNodes([](const NodeRunStats &n) {
+                    return n.duplicatesSuppressed;
+                })));
+        reg.set("cluster.recovery.retriesExhausted",
+                static_cast<double>(sumNodes([](const NodeRunStats &n) {
+                    return n.retriesExhausted;
+                })));
+        reg.set("cluster.recovery.watchdogFailures",
+                static_cast<double>(sumNodes([](const NodeRunStats &n) {
+                    return n.watchdogFailures;
+                })));
+        reg.set("cluster.recovery.commandRetries",
+                static_cast<double>(sumNodes([](const NodeRunStats &n) {
+                    return n.commandRetries;
+                })));
+        reg.set("cluster.recovery.permanentFailures",
+                static_cast<double>(sumNodes([](const NodeRunStats &n) {
+                    return n.permanentFailures;
+                })));
+        reg.set("cluster.recovery.cachePoisonRejected",
+                static_cast<double>(cachePoisonRejected));
+        reg.set("cluster.recovery.cacheBypasses",
+                static_cast<double>(cacheBypasses));
+    }
+    if (faultsEnabled) {
+        reg.set("cluster.faults.packetsDropped",
+                static_cast<double>(packetsDropped));
+        reg.set("cluster.faults.corruptedPrs",
+                static_cast<double>(corruptedPrs));
+        reg.set("cluster.faults.linkDownDrops",
+                static_cast<double>(linkDownDrops));
+        reg.set("cluster.faults.linkDownTicks",
+                static_cast<double>(linkDownTicks));
+        reg.set("cluster.faults.degradedTicks",
+                static_cast<double>(degradedTicks));
+    }
 
     double prs = 0, filtered = 0, coalesced = 0, idxs = 0;
     for (std::size_t n = 0; n < nodes.size(); ++n) {

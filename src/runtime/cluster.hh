@@ -50,6 +50,15 @@ struct ClusterConfig
     SnicConfig snic;
     HostConfig host;
 
+    /**
+     * Fault injection (drops, corruption, link-down, degraded
+     * bandwidth; see net/fault_model.hh). When any fault class is
+     * active the cluster auto-enables the SNIC reliable-PR layer and
+     * switch-side response verification so the gather still completes
+     * correctly. All zeros (default) = the paper's lossless fabric.
+     */
+    FaultConfig faults;
+
     Tick switchPipelineLatency = 300 * ticks::ns;
     std::uint32_t switchConcatDelayCycles = 125; // at 2 GHz
     std::uint32_t nicConcatDelayCycles = 500;    // at 2.2 GHz
@@ -94,6 +103,15 @@ struct NodeRunStats
     std::uint64_t pendingStalls = 0;
     std::uint64_t txStalls = 0;
     std::uint64_t commandsIssued = 0;
+
+    // Recovery counters; nonzero only when the reliable-PR layer runs.
+    std::uint64_t retransmits = 0;
+    std::uint64_t nacks = 0;
+    std::uint64_t corruptDropped = 0;
+    std::uint64_t duplicatesSuppressed = 0;
+    std::uint64_t retriesExhausted = 0;
+    std::uint64_t commandRetries = 0;
+    std::uint64_t permanentFailures = 0;
 
     /** Remote idxs = PR opportunities before filtering/coalescing. */
     std::uint64_t
@@ -146,6 +164,39 @@ struct GatherRunResult
     Tick lookaheadTicks = 0;
     /** Epoch barriers the parallel run took (0 sequential). */
     std::uint64_t epochs = 0;
+
+    // Resilience observability. The flags gate the exported keys so a
+    // zero-fault, retry-off run's document stays byte-identical to the
+    // non-resilient simulator's.
+    /** The reliable-PR layer was active this run. */
+    bool recoveryEnabled = false;
+    /** Fault injection was active this run. */
+    bool faultsEnabled = false;
+    /** Packets lost on links (all fault classes). */
+    std::uint64_t packetsDropped = 0;
+    /** Response PRs whose checksum was flipped in flight. */
+    std::uint64_t corruptedPrs = 0;
+    /** Packets discarded inside link-down windows. */
+    std::uint64_t linkDownDrops = 0;
+    /** Aggregate link-down window time over all links. */
+    Tick linkDownTicks = 0;
+    /** Aggregate degraded-bandwidth window time over all links. */
+    Tick degradedTicks = 0;
+    /** Corrupt responses the ToRs kept out of their caches. */
+    std::uint64_t cachePoisonRejected = 0;
+    /** Reads that bypassed the Property Cache (refetches). */
+    std::uint64_t cacheBypasses = 0;
+
+    /** Sum of a recovery counter over all nodes. */
+    template <typename F>
+    std::uint64_t
+    sumNodes(F &&field) const
+    {
+        std::uint64_t total = 0;
+        for (const auto &st : nodes)
+            total += field(st);
+        return total;
+    }
 
     /** Cache hit rate over all ToR lookups. */
     double

@@ -36,6 +36,10 @@ RigClientUnit::start(RigCommand cmd)
     lastWriteDone_ = eq_.now();
     ++epoch_;
     ++stats_.commands;
+    // reqIds are monotonic across commands (never reset), so the live
+    // command's responses are exactly those in [cmdReqIdBase_,
+    // nextReqId_) - the staleness test of onResponse.
+    cmdReqIdBase_ = nextReqId_;
 
     NS_TRACE(tw.instant(
         traceTrack(), "cmd.start", eq_.now(),
@@ -57,9 +61,9 @@ RigClientUnit::start(RigCommand cmd)
         eq_.scheduleIn(cfg_.watchdogTimeout, [this, epoch] {
             if (active_ && epoch_ == epoch) {
                 // The operation timed out: discard partial results and
-                // report failure to the host (Section 7.1).
+                // report failure to the host (Section 7.1). finish()
+                // resets the pending table and all per-command state.
                 ++stats_.watchdogFailures;
-                pending_.reset();
                 finish(false);
             }
         });
@@ -72,7 +76,13 @@ RigClientUnit::scheduleChunk(Tick when)
     if (chunkScheduled_)
         return;
     chunkScheduled_ = true;
-    eq_.schedule(std::max(when, eq_.now()), [this] {
+    // Epoch-guard the callback: a chunk event scheduled by a command
+    // the watchdog killed must not fire into (or clear the guard flag
+    // of) the next command. finish() owns the flag reset on failure.
+    std::uint64_t epoch = epoch_;
+    eq_.schedule(std::max(when, eq_.now()), [this, epoch] {
+        if (epoch_ != epoch)
+            return;
         chunkScheduled_ = false;
         processChunk();
     });
@@ -140,15 +150,14 @@ RigClientUnit::processChunk()
         ++stats_.idxsProcessed;
         ++nextIdx_;
 
-        PropertyRequest pr;
-        pr.type = PrType::Read;
-        pr.src = ctx_.selfNode();
-        pr.srcTid = tid_;
-        pr.idx = idx;
-        pr.reqId = nextReqId_++;
-        pr.propBytes = cmd_.propBytes;
-        pr.payloadBytes = 0;
-        ctx_.sendPr(std::move(pr), dest);
+        std::uint32_t reqId = nextReqId_++;
+        if (cfg_.retry.enabled) {
+            Tick deadline = eq_.now() + cfg_.retry.timeout;
+            inflight_.emplace(reqId,
+                              InflightPr{idx, dest, 0, deadline, false});
+            armRetryTimer(deadline);
+        }
+        sendReadPr(reqId, idx, dest, false);
     }
 
     NS_TRACE(
@@ -185,17 +194,62 @@ RigClientUnit::processChunk()
 void
 RigClientUnit::onResponse(const PropertyRequest &pr)
 {
+    // Validate the response against the live command BEFORE touching
+    // the pending table: a late response from a watchdog-failed
+    // previous command must not retire a new command's entry for the
+    // same idx. reqIds are monotonic and never reset, so anything
+    // outside [cmdReqIdBase_, nextReqId_) belongs to a dead command.
+    if (!active_ || pr.reqId < cmdReqIdBase_ || pr.reqId >= nextReqId_) {
+        ++stats_.staleResponses;
+        return;
+    }
+
+    if (cfg_.retry.enabled) {
+        auto it = inflight_.find(pr.reqId);
+        if (it == inflight_.end()) {
+            // Already satisfied - the usual flip side of a retransmit
+            // whose original eventually arrived. Suppress.
+            ++stats_.duplicatesSuppressed;
+            return;
+        }
+        if (pr.checksum != propertyChecksum(pr.idx)) {
+            // Corrupt payload: drop it and NACK-refetch from the home
+            // node, bypassing the Property Cache so a poisoned entry
+            // cannot serve the refetch. Counts against the budget.
+            ++stats_.corruptDropped;
+            NS_TRACE(tw.instant(traceTrack(), "pr.nack", eq_.now()));
+            if (it->second.attempts >= cfg_.retry.maxRetries) {
+                ++stats_.retriesExhausted;
+                finish(false);
+                return;
+            }
+            ++it->second.attempts;
+            ++stats_.nacks;
+            it->second.bypassCache = true;
+            it->second.deadline =
+                eq_.now() + retryDelay(it->second.attempts);
+            armRetryTimer(it->second.deadline);
+            sendReadPr(pr.reqId, it->second.idx, it->second.dest, true);
+            return;
+        }
+        inflight_.erase(it);
+    }
+
     std::uint32_t served = pending_.complete(pr.idx);
-    if (served == 0 || !active_) {
-        // Response for a command that already failed (watchdog) or a
-        // duplicate; drop it.
+    if (served == 0) {
+        // An idx-less response (defensive: cannot happen for a
+        // validated in-flight reqId); drop it.
         ++stats_.staleResponses;
         return;
     }
     ++stats_.responses;
 
-    ns_assert(pr.checksum == propertyChecksum(pr.idx),
-              "corrupt property for idx ", pr.idx);
+    if (!cfg_.retry.enabled) {
+        // The lossless fabric never corrupts; anything else is a
+        // simulator bug.
+        ns_assert(pr.checksum == propertyChecksum(pr.idx),
+                  "corrupt property for idx ", pr.idx);
+    }
 
     // Write the property to host memory and publish the Idx Filter bit
     // so other units stop requesting it.
@@ -215,6 +269,81 @@ RigClientUnit::onResponse(const PropertyRequest &pr)
 }
 
 void
+RigClientUnit::sendReadPr(std::uint32_t reqId, PropIdx idx, NodeId dest,
+                          bool bypassCache)
+{
+    PropertyRequest pr;
+    pr.type = PrType::Read;
+    pr.src = ctx_.selfNode();
+    pr.srcTid = tid_;
+    pr.idx = idx;
+    pr.reqId = reqId;
+    pr.propBytes = cmd_.propBytes;
+    pr.payloadBytes = 0;
+    pr.bypassCache = bypassCache;
+    ctx_.sendPr(std::move(pr), dest);
+}
+
+Tick
+RigClientUnit::retryDelay(std::uint32_t attempts) const
+{
+    double scale = 1.0;
+    for (std::uint32_t i = 0; i < attempts; ++i)
+        scale *= cfg_.retry.backoff;
+    return static_cast<Tick>(
+        static_cast<double>(cfg_.retry.timeout) * scale);
+}
+
+void
+RigClientUnit::armRetryTimer(Tick deadline)
+{
+    if (retryTimerAt_ != 0 && retryTimerAt_ <= deadline)
+        return; // the armed timer already fires early enough
+    retryTimerAt_ = deadline;
+    std::uint64_t gen = ++retryTimerGen_;
+    std::uint64_t epoch = epoch_;
+    eq_.schedule(std::max(deadline, eq_.now()), [this, gen, epoch] {
+        if (epoch_ != epoch || gen != retryTimerGen_ || !active_)
+            return;
+        checkRetransmits();
+    });
+}
+
+void
+RigClientUnit::checkRetransmits()
+{
+    retryTimerAt_ = 0;
+    Tick now = eq_.now();
+    // std::map iterates in reqId order, keeping retransmission order -
+    // and therefore the whole downstream event stream - deterministic.
+    for (auto &[reqId, entry] : inflight_) {
+        if (entry.deadline > now)
+            continue;
+        if (entry.attempts >= cfg_.retry.maxRetries) {
+            // Retry budget exhausted: give up on the command the same
+            // way the watchdog would, and let the host decide.
+            ++stats_.retriesExhausted;
+            NS_TRACE(tw.instant(traceTrack(), "pr.retriesExhausted",
+                                eq_.now()));
+            finish(false);
+            return;
+        }
+        ++entry.attempts;
+        entry.deadline = now + retryDelay(entry.attempts);
+        ++stats_.retransmits;
+        NS_TRACE(tw.instant(traceTrack(), "pr.retransmit", eq_.now()));
+        sendReadPr(reqId, entry.idx, entry.dest, entry.bypassCache);
+    }
+    // Re-arm for the earliest remaining deadline.
+    Tick earliest = 0;
+    for (const auto &[reqId, entry] : inflight_)
+        if (earliest == 0 || entry.deadline < earliest)
+            earliest = entry.deadline;
+    if (earliest != 0)
+        armRetryTimer(earliest);
+}
+
+void
 RigClientUnit::maybeComplete()
 {
     if (!active_ || nextIdx_ < cmd_.count || outstanding_ > 0)
@@ -230,6 +359,19 @@ RigClientUnit::finish(bool success)
                         eq_.now()));
     active_ = false;
     ++epoch_;
+    // Leave no per-command state behind for the next command: clear the
+    // issue pipeline, the reliable-transport tracking, and (on failure)
+    // the pending table, whose entries will never be answered usefully.
+    // Bumping epoch_ above also invalidates any still-queued chunk,
+    // watchdog or retry-timer events of this command.
+    outstanding_ = 0;
+    waitingForPending_ = false;
+    chunkScheduled_ = false;
+    inflight_.clear();
+    retryTimerAt_ = 0;
+    ++retryTimerGen_;
+    if (!success)
+        pending_.reset();
     auto cb = std::move(cmd_.onComplete);
     // Completion reaches the host after the last property write lands
     // plus one PCIe crossing for the notification.

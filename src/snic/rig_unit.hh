@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 
 #include "net/protocol.hh"
@@ -34,6 +35,29 @@
 #include "snic/pending_table.hh"
 
 namespace netsparse {
+
+/**
+ * The reliable-PR transport policy of a client RIG unit.
+ *
+ * When enabled, every issued read PR is tracked until its response
+ * arrives; a PR whose response is overdue is retransmitted with
+ * exponential backoff under a bounded retry budget, corrupt responses
+ * are NACKed and refetched from the home node (bypassing the Property
+ * Cache), and duplicate responses - the flip side of retransmission -
+ * are suppressed by reqId. Disabled by default: the lossless fabric of
+ * the paper needs none of it, and the zero-fault event stream must stay
+ * bit-identical to the non-resilient simulator.
+ */
+struct RetryPolicy
+{
+    bool enabled = false;
+    /** Response timeout of a PR's first attempt. */
+    Tick timeout = 100 * ticks::us;
+    /** Timeout multiplier per successive attempt. */
+    double backoff = 2.0;
+    /** Retransmissions allowed per PR before the command fails. */
+    std::uint32_t maxRetries = 6;
+};
 
 /** Per-RIG-unit parameters (Table 5 defaults). */
 struct RigUnitConfig
@@ -58,6 +82,8 @@ struct RigUnitConfig
     Tick serverMemLatency = 100 * ticks::ns;
     /** Watchdog timeout for a RIG operation; 0 disables (Section 7.1). */
     Tick watchdogTimeout = 0;
+    /** Reliable-PR retransmission layer (see RetryPolicy). */
+    RetryPolicy retry;
 };
 
 /** One Remote Indexed Gather command (the IBV_WR_RIG work request). */
@@ -116,6 +142,12 @@ struct RigClientStats
     std::uint64_t pendingStalls = 0;
     std::uint64_t txStalls = 0;
     std::uint64_t watchdogFailures = 0;
+    // Recovery counters; all zero unless RetryPolicy::enabled.
+    std::uint64_t retransmits = 0;
+    std::uint64_t nacks = 0;
+    std::uint64_t corruptDropped = 0;
+    std::uint64_t duplicatesSuppressed = 0;
+    std::uint64_t retriesExhausted = 0;
 };
 
 /** A RIG unit configured as a client thread. */
@@ -142,12 +174,34 @@ class RigClientUnit
     const PendingPrTable &pendingTable() const { return pending_; }
 
   private:
+    /** One issued read PR awaiting its response (retry enabled). */
+    struct InflightPr
+    {
+        PropIdx idx = 0;
+        NodeId dest = invalidNode;
+        /** Retransmissions performed so far. */
+        std::uint32_t attempts = 0;
+        /** When the next missing response triggers a retransmit. */
+        Tick deadline = 0;
+        /** Refetch after corruption: skip the Property Cache. */
+        bool bypassCache = false;
+    };
+
     void scheduleChunk(Tick when);
     /** Trace track for this unit ("<node>.rig<tid>"). */
     std::uint32_t traceTrack() const;
     void processChunk();
     void maybeComplete();
     void finish(bool success);
+    /** Build and transmit one read PR. */
+    void sendReadPr(std::uint32_t reqId, PropIdx idx, NodeId dest,
+                    bool bypassCache);
+    /** Backoff delay before attempt number @p attempts times out. */
+    Tick retryDelay(std::uint32_t attempts) const;
+    /** Ensure the retry timer fires no later than @p deadline. */
+    void armRetryTimer(Tick deadline);
+    /** Retransmit every overdue in-flight PR; fail on budget burnout. */
+    void checkRetransmits();
 
     EventQueue &eq_;
     RigUnitConfig cfg_;
@@ -161,10 +215,20 @@ class RigClientUnit
     std::size_t nextIdx_ = 0;
     std::uint64_t outstanding_ = 0;
     std::uint32_t nextReqId_ = 0;
+    /** First reqId of the live command: the staleness watermark. */
+    std::uint32_t cmdReqIdBase_ = 0;
     bool chunkScheduled_ = false;
     bool waitingForPending_ = false;
     std::uint64_t epoch_ = 0; // invalidates watchdogs/events across cmds
     Tick lastWriteDone_ = 0;
+
+    /** In-flight reads by reqId; ordered so retransmit scans are
+     *  deterministic. Populated only when retry is enabled. */
+    std::map<std::uint32_t, InflightPr> inflight_;
+    /** Deadline the armed retry timer targets; 0 when unarmed. */
+    Tick retryTimerAt_ = 0;
+    /** Invalidates superseded retry-timer events. */
+    std::uint64_t retryTimerGen_ = 0;
 
     RigClientStats stats_;
 };

@@ -115,6 +115,11 @@ Snic::aggregateClientStats() const
         out.pendingStalls += s.pendingStalls;
         out.txStalls += s.txStalls;
         out.watchdogFailures += s.watchdogFailures;
+        out.retransmits += s.retransmits;
+        out.nacks += s.nacks;
+        out.corruptDropped += s.corruptDropped;
+        out.duplicatesSuppressed += s.duplicatesSuppressed;
+        out.retriesExhausted += s.retriesExhausted;
     }
     return out;
 }
@@ -152,6 +157,19 @@ Snic::exportStats(StatRegistry &reg, const std::string &prefix) const
         reg.set(rig + ".txStalls", static_cast<double>(s.txStalls));
         reg.set(rig + ".watchdogFailures",
                 static_cast<double>(s.watchdogFailures));
+        if (cfg_.rigUnit.retry.enabled) {
+            // Recovery keys exist only when the reliable-PR layer is
+            // on, keeping zero-fault documents byte-identical.
+            reg.set(rig + ".retransmits",
+                    static_cast<double>(s.retransmits));
+            reg.set(rig + ".nacks", static_cast<double>(s.nacks));
+            reg.set(rig + ".corruptDropped",
+                    static_cast<double>(s.corruptDropped));
+            reg.set(rig + ".duplicatesSuppressed",
+                    static_cast<double>(s.duplicatesSuppressed));
+            reg.set(rig + ".retriesExhausted",
+                    static_cast<double>(s.retriesExhausted));
+        }
         reg.set(rig + ".pendingMaxOccupancy",
                 static_cast<double>(
                     clients_[c]->pendingTable().maxOccupancy()));

@@ -73,6 +73,48 @@ TEST(ParallelGather, StatsJsonIsByteIdenticalAcrossShardCounts)
     }
 }
 
+TEST(ParallelGather, FaultInjectionIsByteIdenticalAcrossShardCounts)
+{
+    // The resilience headline: fault draws are keyed on per-link send
+    // sequences, never on global RNG state, so a lossy run is exactly
+    // as shard-deterministic as a clean one - retransmits, NACKs and
+    // all. Drop rate is high enough that recovery machinery engages.
+    Csr m = makeBenchmarkMatrix(MatrixKind::Arabic, 0.02);
+    Partition1D part = Partition1D::equalRows(m.rows, 16);
+    ClusterConfig cfg = shardableCluster(1);
+    cfg.faults.dropRate = 2e-3;
+    cfg.faults.corruptRate = 5e-4;
+    cfg.faults.seed = 11;
+
+    GatherRunResult seq;
+    std::string ref = runToJson(cfg, m, part, &seq);
+    EXPECT_TRUE(seq.faultsEnabled);
+    EXPECT_TRUE(seq.recoveryEnabled);
+    EXPECT_GT(seq.packetsDropped, 0u);
+    // The gather still delivered everything: no host-visible failures.
+    EXPECT_EQ(seq.sumNodes([](const NodeRunStats &n) {
+                  return n.permanentFailures;
+              }),
+              0u);
+    // The recovery counters made it into the exported document.
+    EXPECT_NE(ref.find("cluster.recovery.retransmits"),
+              std::string::npos);
+    EXPECT_NE(ref.find("cluster.faults.packetsDropped"),
+              std::string::npos);
+
+    for (std::uint32_t shards : {2u, 4u}) {
+        ClusterConfig pcfg = shardableCluster(shards);
+        pcfg.faults = cfg.faults;
+        GatherRunResult par;
+        std::string got = runToJson(pcfg, m, part, &par);
+        EXPECT_EQ(par.simShards, shards);
+        EXPECT_EQ(got, ref) << "faulty stats diverged at " << shards
+                            << " shards";
+        EXPECT_EQ(par.commTicks, seq.commTicks);
+        EXPECT_EQ(par.packetsDropped, seq.packetsDropped);
+    }
+}
+
 TEST(ParallelGather, LookaheadIsTheCrossShardLinkLatency)
 {
     Csr m = makeBenchmarkMatrix(MatrixKind::Queen, 0.02);

@@ -105,13 +105,14 @@ TEST(Link, OversizedPacketPanics)
     EXPECT_THROW(link.send(soloPacket(2000)), std::logic_error);
 }
 
-TEST(Link, DropFilterLosesPacketsButBurnsWireTime)
+TEST(Link, ScriptedDropLosesPacketsButBurnsWireTime)
 {
     EventQueue eq;
     RecordingSink sink(eq);
     Link link(eq, {}, {}, &sink, 0, "l4");
+    link.configureFaults(FaultConfig{});
     int dropped_so_far = 0;
-    link.setDropFilter([&](const Packet &) {
+    link.faults()->scriptDrop([&](const Packet &) {
         return dropped_so_far++ == 0; // lose only the first packet
     });
     link.send(soloPacket(100));
@@ -122,6 +123,7 @@ TEST(Link, DropFilterLosesPacketsButBurnsWireTime)
     // packet/byte/payload totals cover delivered packets exclusively.
     EXPECT_EQ(link.packetsDropped(), 1u);
     EXPECT_EQ(link.bytesDropped(), 178u); // 78 B header + 100 B payload
+    EXPECT_EQ(link.faults()->stats().scriptedDrops, 1u);
     EXPECT_EQ(link.packetsSent(), 1u);
     EXPECT_EQ(link.bytesSent(), 178u);
     EXPECT_EQ(link.payloadBytesSent(), 100u);

@@ -73,10 +73,11 @@ struct MultiPipeHarness
     std::vector<std::unique_ptr<RecordingSink>> sinks;
     std::vector<std::unique_ptr<Link>> links;
 
-    explicit MultiPipeHarness(bool per_pipe)
+    explicit MultiPipeHarness(bool per_pipe, bool verify = false)
     {
         cfg.netsparseEnabled = true;
         cfg.cachePerPipe = per_pipe;
+        cfg.verifyResponses = verify;
         cfg.concat.delay = 100;
         cfg.cache.totalBytes = 1 << 20;
         cfg.portsPerPipe = 4;
@@ -172,6 +173,47 @@ TEST(SwitchPipes, CacheServedReadSkipsTheUplinkEntirely)
     EXPECT_EQ(uplink_packets_after, uplink_packets_before);
     ASSERT_FALSE(h.sinks[1]->packets.empty());
     EXPECT_EQ(h.sinks[1]->packets.back().type, PrType::Response);
+}
+
+TEST(SwitchPipes, CorruptResponseIsNotCachedWhenVerifying)
+{
+    MultiPipeHarness h(true, /*verify=*/true);
+    PropertyRequest bad = responsePr(42, 1);
+    bad.checksum ^= 1; // corrupted on the wire upstream of the ToR
+    h.sw->receivePacket(packetOf(bad, 1), 5);
+    h.eq.run();
+    // The poisoned payload never enters the Property Cache, but the
+    // response is still forwarded so the RIG client can NACK it.
+    EXPECT_EQ(h.sw->poisonRejected(), 1u);
+    EXPECT_EQ(h.sw->cacheInserts(), 0u);
+    ASSERT_FALSE(h.sinks[1]->packets.empty());
+    EXPECT_EQ(h.sinks[1]->packets.back().type, PrType::Response);
+
+    // A later read for the same idx must miss (nothing was cached).
+    h.sw->receivePacket(packetOf(readPr(42, 2), 9), 2);
+    h.eq.run();
+    EXPECT_EQ(h.sw->cacheHits(), 0u);
+}
+
+TEST(SwitchPipes, BypassCacheReadSkipsTheLookup)
+{
+    MultiPipeHarness h(true);
+    // Seed the pipe-1 cache with idx 50 (deposit via uplink 4).
+    h.sw->receivePacket(packetOf(responsePr(50, 0), 0), 4);
+    h.eq.run();
+    EXPECT_EQ(h.sw->cacheInserts(), 1u);
+
+    // A NACK-refetch read carries bypassCache: it must go to the home
+    // node even though the cache holds the idx (the copy is suspect).
+    PropertyRequest refetch = readPr(50, 1);
+    refetch.bypassCache = true;
+    h.sw->receivePacket(packetOf(refetch, 8), 1); // home 8 -> uplink 4
+    h.eq.run();
+    EXPECT_EQ(h.sw->cacheBypasses(), 1u);
+    EXPECT_EQ(h.sw->cacheHits(), 0u);
+    EXPECT_EQ(h.sw->prsServedByCache(), 0u);
+    ASSERT_FALSE(h.sinks[4]->packets.empty());
+    EXPECT_EQ(h.sinks[4]->packets.back().type, PrType::Read);
 }
 
 TEST(SwitchPipes, ClusterRunsWithPerPipeCaches)

@@ -15,7 +15,7 @@ class MockCtx : public SnicContext
 {
   public:
     MockCtx(EventQueue &eq, std::uint64_t num_idxs)
-        : filter_(num_idxs), pcie_(eq, {})
+        : eq_(eq), filter_(num_idxs), pcie_(eq, {})
     {}
 
     NodeId selfNode() const override { return 0; }
@@ -29,7 +29,7 @@ class MockCtx : public SnicContext
     void
     sendPr(PropertyRequest &&pr, NodeId dest) override
     {
-        sent.push_back({std::move(pr), dest});
+        sent.push_back({std::move(pr), dest, eq_.now()});
     }
 
     bool txBackpressured() const override { return backpressured; }
@@ -40,12 +40,14 @@ class MockCtx : public SnicContext
     {
         PropertyRequest pr;
         NodeId dest;
+        Tick when;
     };
 
     std::vector<Sent> sent;
     bool backpressured = false;
 
   private:
+    EventQueue &eq_;
     IdxFilter filter_;
     PcieModel pcie_;
 };
@@ -228,6 +230,159 @@ TEST(RigClient, WatchdogDoesNotFireOnSuccess)
     EXPECT_EQ(h.completions, 1);
     EXPECT_TRUE(h.lastSuccess);
     EXPECT_EQ(unit.stats().watchdogFailures, 0u);
+}
+
+TEST(RigClient, StaleResponseCannotRetireTheNextCommandsPending)
+{
+    // Regression: a late response from a watchdog-failed command carries
+    // an idx the *next* command also requested. It must be rejected on
+    // its stale reqId range, not retire the new command's pending entry
+    // (which would complete the new command with a phantom response).
+    ClientHarness h;
+    h.cfg.watchdogTimeout = 10 * ticks::us;
+    RigClientUnit unit(h.eq, h.cfg, h.ctx, 0);
+    std::vector<std::uint32_t> idxs{5};
+    unit.start(h.command(idxs));
+    h.eq.run(); // no response; the watchdog fails the command
+    EXPECT_EQ(h.completions, 1);
+    EXPECT_FALSE(h.lastSuccess);
+    ASSERT_EQ(h.ctx.sent.size(), 1u);
+    PropertyRequest old_response = respond(h.ctx.sent[0].pr);
+
+    // The retry asks for the same idx; a fresh PR (new reqId) goes out.
+    unit.start(h.command(idxs));
+    h.eq.runUntil(h.eq.now() + 2 * ticks::us);
+    ASSERT_EQ(h.ctx.sent.size(), 2u);
+    EXPECT_NE(h.ctx.sent[1].pr.reqId, old_response.reqId);
+
+    // The zombie response from the dead command arrives now.
+    unit.onResponse(old_response);
+    EXPECT_EQ(unit.stats().staleResponses, 1u);
+    EXPECT_TRUE(unit.busy()); // it must NOT have completed the command
+    EXPECT_EQ(h.completions, 1);
+
+    // Only the new command's own response finishes it.
+    unit.onResponse(respond(h.ctx.sent[1].pr));
+    h.eq.runUntil(h.eq.now() + 2 * ticks::us);
+    EXPECT_EQ(h.completions, 2);
+    EXPECT_TRUE(h.lastSuccess);
+}
+
+TEST(RigClient, WatchdogResetLeavesNoStaleChunkEvent)
+{
+    // Regression: the watchdog fires while a scheduleChunk retry event
+    // is still in flight (tx backpressure keeps rescheduling). The next
+    // command must start its own chunk immediately; the stale event must
+    // neither suppress it nor fire into the new command.
+    ClientHarness h;
+    h.cfg.watchdogTimeout = 10 * ticks::us;
+    h.cfg.txRetryInterval = 100 * ticks::us; // stale event far out
+    h.ctx.backpressured = true;
+    RigClientUnit unit(h.eq, h.cfg, h.ctx, 0);
+    std::vector<std::uint32_t> idxs{1, 2};
+    unit.start(h.command(idxs));
+    h.eq.runUntil(15 * ticks::us); // chunk stalls on tx; watchdog fires
+    EXPECT_EQ(h.completions, 1);
+    EXPECT_FALSE(h.lastSuccess);
+    EXPECT_TRUE(h.ctx.sent.empty());
+
+    // Network heals; the host retries straight away.
+    h.ctx.backpressured = false;
+    unit.start(h.command(idxs));
+    h.eq.runUntil(20 * ticks::us);
+    // Both PRs issued promptly -- not at the stale event's 100 us mark.
+    ASSERT_EQ(h.ctx.sent.size(), 2u);
+    unit.onResponse(respond(h.ctx.sent[0].pr));
+    unit.onResponse(respond(h.ctx.sent[1].pr));
+    h.eq.run();
+    EXPECT_EQ(h.completions, 2);
+    EXPECT_TRUE(h.lastSuccess);
+    EXPECT_EQ(unit.stats().watchdogFailures, 1u);
+}
+
+TEST(RigClient, RetransmitBackoffDoublesAndExhaustsBudget)
+{
+    ClientHarness h;
+    h.cfg.retry.enabled = true;
+    h.cfg.retry.timeout = 10 * ticks::us;
+    h.cfg.retry.backoff = 2.0;
+    h.cfg.retry.maxRetries = 3;
+    RigClientUnit unit(h.eq, h.cfg, h.ctx, 0);
+    std::vector<std::uint32_t> idxs{1};
+    unit.start(h.command(idxs));
+    h.eq.run(); // responses never arrive; the budget runs dry
+
+    const auto &st = unit.stats();
+    EXPECT_EQ(st.retransmits, 3u);
+    EXPECT_EQ(st.retriesExhausted, 1u);
+    EXPECT_EQ(h.completions, 1);
+    EXPECT_FALSE(h.lastSuccess);
+
+    // 1 original + 3 retransmits, all carrying the same reqId.
+    ASSERT_EQ(h.ctx.sent.size(), 4u);
+    for (const auto &s : h.ctx.sent)
+        EXPECT_EQ(s.pr.reqId, h.ctx.sent[0].pr.reqId);
+
+    // Exponential backoff: each gap doubles the previous one.
+    Tick d1 = h.ctx.sent[1].when - h.ctx.sent[0].when;
+    Tick d2 = h.ctx.sent[2].when - h.ctx.sent[1].when;
+    Tick d3 = h.ctx.sent[3].when - h.ctx.sent[2].when;
+    EXPECT_EQ(d1, 10 * ticks::us);
+    EXPECT_EQ(d2, 2 * d1);
+    EXPECT_EQ(d3, 2 * d2);
+}
+
+TEST(RigClient, DuplicateResponseIsSuppressed)
+{
+    ClientHarness h;
+    h.cfg.retry.enabled = true;
+    RigClientUnit unit(h.eq, h.cfg, h.ctx, 0);
+    std::vector<std::uint32_t> idxs{1, 2};
+    unit.start(h.command(idxs));
+    h.eq.runUntil(5 * ticks::us);
+    ASSERT_EQ(h.ctx.sent.size(), 2u);
+
+    // The same response lands twice (original + retransmit twin).
+    unit.onResponse(respond(h.ctx.sent[0].pr));
+    unit.onResponse(respond(h.ctx.sent[0].pr));
+    EXPECT_EQ(unit.stats().duplicatesSuppressed, 1u);
+    EXPECT_EQ(unit.stats().responses, 1u);
+
+    unit.onResponse(respond(h.ctx.sent[1].pr));
+    h.eq.run();
+    EXPECT_EQ(h.completions, 1);
+    EXPECT_TRUE(h.lastSuccess);
+    EXPECT_EQ(unit.stats().responses, 2u);
+}
+
+TEST(RigClient, CorruptResponseIsNackedAndRefetchedBypassingCache)
+{
+    ClientHarness h;
+    h.cfg.retry.enabled = true;
+    RigClientUnit unit(h.eq, h.cfg, h.ctx, 0);
+    std::vector<std::uint32_t> idxs{1};
+    unit.start(h.command(idxs));
+    h.eq.runUntil(5 * ticks::us);
+    ASSERT_EQ(h.ctx.sent.size(), 1u);
+
+    PropertyRequest bad = respond(h.ctx.sent[0].pr);
+    bad.checksum ^= 1;
+    unit.onResponse(bad); // with retry on: NACK + refetch, no panic
+    EXPECT_EQ(unit.stats().corruptDropped, 1u);
+    EXPECT_EQ(unit.stats().nacks, 1u);
+    EXPECT_TRUE(unit.busy());
+
+    // The refetch reuses the reqId and asks the network to bypass the
+    // (potentially poisoned) Property Cache.
+    ASSERT_EQ(h.ctx.sent.size(), 2u);
+    EXPECT_EQ(h.ctx.sent[1].pr.reqId, h.ctx.sent[0].pr.reqId);
+    EXPECT_TRUE(h.ctx.sent[1].pr.bypassCache);
+    EXPECT_FALSE(h.ctx.sent[0].pr.bypassCache);
+
+    unit.onResponse(respond(h.ctx.sent[1].pr));
+    h.eq.run();
+    EXPECT_EQ(h.completions, 1);
+    EXPECT_TRUE(h.lastSuccess);
 }
 
 TEST(RigClient, CorruptResponsePanics)
