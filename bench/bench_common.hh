@@ -20,6 +20,7 @@
 
 #include "sim/stats_export.hh"
 #include "sim/sweep.hh"
+#include "sim/telemetry.hh"
 #include "sim/trace.hh"
 #include "sparse/generators.hh"
 #include "sparse/partition.hh"
@@ -28,29 +29,35 @@ namespace netsparse::bench {
 
 /**
  * Wire the shared observability flags into a bench binary: every bench
- * accepts `--trace-out FILE` (Chrome-trace/Perfetto event trace) and
+ * accepts `--trace-out FILE` (Chrome-trace/Perfetto event trace),
  * `--stats-json FILE` (JSON snapshot of every cluster run's stats
- * registry, one "runs[]" entry per runGather). The environment
- * variables NETSPARSE_TRACE_OUT / NETSPARSE_STATS_JSON are honored as
- * fallbacks so CI can collect artifacts without touching command
- * lines. Outputs are finalized at process exit. See
- * docs/observability.md for the schemas.
+ * registry, one "runs[]" entry per runGather) and `--telemetry-out
+ * FILE` (interval-telemetry timeline). The environment variables
+ * NETSPARSE_TRACE_OUT / NETSPARSE_STATS_JSON /
+ * NETSPARSE_TELEMETRY_OUT are honored as fallbacks so CI can collect
+ * artifacts without touching command lines. Outputs are finalized at
+ * process exit. See docs/observability.md for the schemas.
  */
 inline void
 initObservability(int argc, char **argv)
 {
     const char *trace = std::getenv("NETSPARSE_TRACE_OUT");
     const char *stats = std::getenv("NETSPARSE_STATS_JSON");
+    const char *telemetry = std::getenv("NETSPARSE_TELEMETRY_OUT");
     for (int i = 1; i + 1 < argc; ++i) {
         if (std::string(argv[i]) == "--trace-out")
             trace = argv[i + 1];
         else if (std::string(argv[i]) == "--stats-json")
             stats = argv[i + 1];
+        else if (std::string(argv[i]) == "--telemetry-out")
+            telemetry = argv[i + 1];
     }
     if (trace && *trace)
         TraceWriter::instance().open(trace);
     if (stats && *stats)
         StatsExport::instance().setOutputPath(stats);
+    if (telemetry && *telemetry)
+        TelemetrySink::instance().setOutputPath(telemetry);
 }
 
 /** Scale factor for benchmark matrices (env NETSPARSE_BENCH_SCALE). */

@@ -32,6 +32,9 @@ main(int argc, char **argv)
     {
         double fcRate = 0, prPerPkt = 0, cacheHit = 0, goodput = 0;
         double lineUtil = 0, trfcVsSu = 0, saGoodput = 0, prVsSa = 0;
+        /** Node finish-time tail percentiles in us, from the same
+         *  histogram the stats JSON exports (cluster.finishTimeNs). */
+        double finishP99Us = 0, finishP999Us = 0;
     };
     auto suite = benchmarkSuite(scale);
     std::vector<Row> rows(suite.size());
@@ -66,22 +69,25 @@ main(int argc, char **argv)
         double pr_vs_sa =
             ns_prs ? static_cast<double>(sa_prs) / ns_prs : 0.0;
 
+        Histogram finish = r.finishTimeHistogram();
         rows[i] = Row{tail.fcRate(),   tail_pr_per_pkt, r.cacheHitRate(),
                       r.tailGoodput,   r.tailLineUtil,  trfc_vs_su,
-                      sa.tailGoodput,  pr_vs_sa};
+                      sa.tailGoodput,  pr_vs_sa,
+                      finish.percentile(99.0) / 1e3,
+                      finish.percentile(99.9) / 1e3};
     });
 
-    std::printf("%-8s %6s %8s %7s %6s %6s %9s %8s %8s\n", "matrix",
-                "F+C", "PR/pkt", "cache", "Gput", "LUtil", "-TrfcSU",
-                "GputSA", "-#PRvSA");
+    std::printf("%-8s %6s %8s %7s %6s %6s %9s %8s %8s %8s %8s\n",
+                "matrix", "F+C", "PR/pkt", "cache", "Gput", "LUtil",
+                "-TrfcSU", "GputSA", "-#PRvSA", "p99FT", "p99.9FT");
     for (std::size_t m = 0; m < suite.size(); ++m) {
         const Row &r = rows[m];
         std::printf("%-8s %5.0f%% %8.1f %6.0f%% %5.0f%% %5.0f%% %8.1fx "
-                    "%7.1f%% %7.2fx\n",
+                    "%7.1f%% %7.2fx %6.1fus %6.1fus\n",
                     suite[m].name.c_str(), 100.0 * r.fcRate, r.prPerPkt,
                     100.0 * r.cacheHit, 100.0 * r.goodput,
                     100.0 * r.lineUtil, r.trfcVsSu, 100.0 * r.saGoodput,
-                    r.prVsSa);
+                    r.prVsSa, r.finishP99Us, r.finishP999Us);
     }
     return 0;
 }

@@ -32,6 +32,12 @@
  *     --stats-json FILE    write a JSON stats snapshot (the
  *                          docs/observability.md metrics contract)
  *     --trace-out FILE     capture a Chrome-trace/Perfetto event trace
+ *     --telemetry-out FILE write the interval-telemetry timeline
+ *                          (netsparse-telemetry-v1; enables the PR
+ *                          latency lifecycle stats as a side effect)
+ *     --telemetry-interval US
+ *                          sampling interval in simulated microseconds
+ *                          (default 10)
  */
 
 #include <cstdio>
@@ -43,6 +49,7 @@
 #include "runtime/cluster.hh"
 #include "sim/stats.hh"
 #include "sim/stats_export.hh"
+#include "sim/telemetry.hh"
 #include "sim/trace.hh"
 #include "sparse/generators.hh"
 #include "sparse/mmio.hh"
@@ -66,7 +73,9 @@ usage(const char *argv0)
                  "  [--faults drop:R,corrupt:R,down:R,downUs:T,"
                  "degrade:R,degradeUs:T,\n"
                  "            degradeFactor:F,seed:S]\n"
-                 "  [--stats-json FILE] [--trace-out FILE]\n",
+                 "  [--stats-json FILE] [--trace-out FILE] "
+                 "[--telemetry-out FILE]\n"
+                 "  [--telemetry-interval US]\n",
                  argv0);
     std::exit(2);
 }
@@ -88,7 +97,8 @@ main(int argc, char **argv)
     std::string partition = "rows";
     std::uint32_t shards = 0;
     bool dump_stats = false;
-    std::string stats_json, trace_out, faults_spec;
+    std::string stats_json, trace_out, faults_spec, telemetry_out;
+    double telemetry_interval_us = 10.0;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -133,6 +143,10 @@ main(int argc, char **argv)
             stats_json = next();
         else if (a == "--trace-out")
             trace_out = next();
+        else if (a == "--telemetry-out")
+            telemetry_out = next();
+        else if (a == "--telemetry-interval")
+            telemetry_interval_us = std::atof(next());
         else
             usage(argv[0]);
     }
@@ -187,22 +201,47 @@ main(int argc, char **argv)
     cfg.simShards = shards;
     if (!faults_spec.empty())
         cfg.faults = FaultConfig::parse(faults_spec);
+    cfg.telemetryInterval = static_cast<Tick>(
+        telemetry_interval_us * static_cast<double>(ticks::us));
+    if (!telemetry_out.empty() && cfg.telemetryInterval == 0) {
+        std::fprintf(stderr,
+                     "--telemetry-out needs a positive "
+                     "--telemetry-interval\n");
+        return 1;
+    }
 
     std::printf("netsparse_sim: %s (%u x %u, %zu nnz), %u nodes, K=%u, "
                 "%s\n",
                 matrix_arg.c_str(), m.rows, m.cols, m.nnz(), nodes, k,
                 topology.c_str());
 
-    if (!stats_json.empty())
-        StatsExport::instance().setOutputPath(stats_json);
-    if (!trace_out.empty() && !TraceWriter::instance().open(trace_out))
+    // Every output path is probe-opened before the simulation starts:
+    // a path into a missing directory fails here with a clear message
+    // instead of wasting the whole run on a silent empty result.
+    if (!stats_json.empty() &&
+        !StatsExport::instance().setOutputPath(stats_json)) {
+        std::fprintf(stderr, "cannot open --stats-json output %s\n",
+                     stats_json.c_str());
         return 1;
+    }
+    if (!trace_out.empty() && !TraceWriter::instance().open(trace_out)) {
+        std::fprintf(stderr, "cannot open --trace-out output %s\n",
+                     trace_out.c_str());
+        return 1;
+    }
+    if (!telemetry_out.empty() &&
+        !TelemetrySink::instance().setOutputPath(telemetry_out)) {
+        std::fprintf(stderr, "cannot open --telemetry-out output %s\n",
+                     telemetry_out.c_str());
+        return 1;
+    }
 
     ClusterSim sim(cfg);
     GatherRunResult r = sim.runGather(m, part, k);
 
     TraceWriter::instance().close();
     StatsExport::instance().writeFile();
+    TelemetrySink::instance().writeFile();
 
     if (dump_stats) {
         StatRegistry reg;

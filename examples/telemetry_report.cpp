@@ -1,0 +1,101 @@
+/**
+ * @file
+ * telemetry_report: rank the bottlenecks of a simulated run.
+ *
+ * Consumes the netsparse-telemetry-v1 timeline written by
+ * `netsparse_sim --telemetry-out` (and, optionally, the matching
+ * `--stats-json` snapshot for the PR latency decomposition) and
+ * prints saturated links and switches, phase boundaries, and the
+ * dominant lifecycle stage. See docs/observability.md for the report
+ * format.
+ *
+ * Usage:
+ *   telemetry_report TELEMETRY.json [STATS.json] [--run N]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "analysis/telemetry_report.hh"
+
+using namespace netsparse;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s TELEMETRY.json [STATS.json] [--run N]\n",
+                 argv0);
+    std::exit(2);
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream is(path);
+    if (!is)
+        return false;
+    std::ostringstream os;
+    os << is.rdbuf();
+    out = os.str();
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string telemetry_path, stats_path;
+    std::size_t run_index = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--run") {
+            if (++i >= argc)
+                usage(argv[0]);
+            run_index = static_cast<std::size_t>(std::atoi(argv[i]));
+        } else if (telemetry_path.empty()) {
+            telemetry_path = a;
+        } else if (stats_path.empty()) {
+            stats_path = a;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (telemetry_path.empty())
+        usage(argv[0]);
+
+    std::string text;
+    if (!readFile(telemetry_path, text)) {
+        std::fprintf(stderr, "cannot read %s\n", telemetry_path.c_str());
+        return 1;
+    }
+    try {
+        jsonlite::Value telemetry = jsonlite::parse(text);
+        jsonlite::Value stats;
+        bool have_stats = false;
+        if (!stats_path.empty()) {
+            std::string stext;
+            if (!readFile(stats_path, stext)) {
+                std::fprintf(stderr, "cannot read %s\n",
+                             stats_path.c_str());
+                return 1;
+            }
+            stats = jsonlite::parse(stext);
+            have_stats = true;
+        }
+        TelemetryReport report = analyzeTelemetry(
+            telemetry, have_stats ? &stats : nullptr, run_index);
+        printTelemetryReport(report, std::cout);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "telemetry_report: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

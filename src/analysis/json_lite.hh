@@ -1,13 +1,14 @@
 /**
  * @file
- * A minimal recursive-descent JSON parser for tests (no third-party
- * dependency). Validates syntax strictly enough to guarantee that a
- * document accepted here also loads with Python's json.load, and gives
- * the tests structured access to objects, arrays, numbers and strings.
+ * A minimal recursive-descent JSON parser (no third-party
+ * dependency), shared by the analysis tools and the tests. Validates
+ * syntax strictly enough to guarantee that a document accepted here
+ * also loads with Python's json.load, and gives callers structured
+ * access to objects, arrays, numbers and strings.
  */
 
-#ifndef NETSPARSE_TESTS_SUPPORT_JSON_LITE_HH
-#define NETSPARSE_TESTS_SUPPORT_JSON_LITE_HH
+#ifndef NETSPARSE_ANALYSIS_JSON_LITE_HH
+#define NETSPARSE_ANALYSIS_JSON_LITE_HH
 
 #include <cctype>
 #include <cstdlib>
@@ -279,4 +280,4 @@ parse(const std::string &text)
 
 } // namespace jsonlite
 
-#endif // NETSPARSE_TESTS_SUPPORT_JSON_LITE_HH
+#endif // NETSPARSE_ANALYSIS_JSON_LITE_HH

@@ -1,0 +1,274 @@
+#include "analysis/telemetry_report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace netsparse {
+
+namespace {
+
+/** Throughput ratio between intervals that marks a phase boundary. */
+constexpr double phaseShiftRatio = 2.0;
+
+std::vector<double>
+numbers(const jsonlite::Value &arr)
+{
+    std::vector<double> out;
+    out.reserve(arr.array.size());
+    for (const auto &v : arr.array) {
+        if (!v.isNumber())
+            throw std::runtime_error("telemetry series holds a "
+                                     "non-number");
+        out.push_back(v.number);
+    }
+    return out;
+}
+
+/** Approximate aggregate of a stats histogram via bucket midpoints. */
+double
+histogramSum(const jsonlite::Value &hist)
+{
+    double lo = hist.at("lo").number;
+    double hi = hist.at("hi").number;
+    const auto &buckets = hist.at("buckets").array;
+    if (buckets.size() < 3)
+        return 0.0;
+    std::size_t inner = buckets.size() - 2;
+    double width = (hi - lo) / static_cast<double>(inner);
+    double sum = buckets.front().number * lo +
+                 buckets.back().number * hi;
+    for (std::size_t i = 1; i + 1 < buckets.size(); ++i) {
+        double mid = lo + (static_cast<double>(i) - 0.5) * width;
+        sum += buckets[i].number * mid;
+    }
+    return sum;
+}
+
+} // namespace
+
+std::string
+TelemetryReport::mostUtilizedLink() const
+{
+    return links.empty() ? std::string() : links.front().id;
+}
+
+std::string
+TelemetryReport::dominantStage() const
+{
+    return stages.empty() ? std::string() : stages.front().name;
+}
+
+TelemetryReport
+analyzeTelemetry(const jsonlite::Value &telemetry,
+                 const jsonlite::Value *stats, std::size_t runIndex)
+{
+    if (!telemetry.has("schema") ||
+        telemetry.at("schema").string != "netsparse-telemetry-v1")
+        throw std::runtime_error("not a netsparse-telemetry-v1 "
+                                 "document");
+    const jsonlite::Value &run = telemetry.at("runs").at(runIndex);
+
+    TelemetryReport r;
+    r.intervalTicks = static_cast<Tick>(run.at("intervalTicks").number);
+    r.finalTick = static_cast<Tick>(run.at("finalTick").number);
+    std::vector<double> sample_ticks = numbers(run.at("sampleTicks"));
+    r.numSamples = sample_ticks.size();
+
+    for (const auto &entity : run.at("entities").array) {
+        const std::string &id = entity.at("id").string;
+        const std::string &kind = entity.at("kind").string;
+        const jsonlite::Value &ser = entity.at("series");
+        if (kind == "link") {
+            std::vector<double> util = numbers(ser.at("utilization"));
+            std::vector<double> queued = numbers(ser.at("queuedBytes"));
+            BottleneckEntry e;
+            e.id = id;
+            e.kind = kind;
+            std::size_t above = 0;
+            for (std::size_t i = 0; i < util.size(); ++i) {
+                if (util[i] >= 0.9)
+                    ++above;
+                if (util[i] > e.peak) {
+                    e.peak = util[i];
+                    e.peakTick = static_cast<Tick>(sample_ticks[i]);
+                }
+                if (queued[i] > e.peakQueueBytes) {
+                    e.peakQueueBytes = queued[i];
+                    e.peakQueueTick = static_cast<Tick>(sample_ticks[i]);
+                }
+            }
+            e.fracAbove90 =
+                util.empty() ? 0.0
+                             : static_cast<double>(above) /
+                                   static_cast<double>(util.size());
+            if (e.peak > 0.0)
+                r.links.push_back(std::move(e));
+        } else if (kind == "switch") {
+            std::vector<double> backlog = numbers(ser.at("outQueueBytes"));
+            BottleneckEntry e;
+            e.id = id;
+            e.kind = kind;
+            for (std::size_t i = 0; i < backlog.size(); ++i) {
+                if (backlog[i] > e.peak) {
+                    e.peak = backlog[i];
+                    e.peakTick = static_cast<Tick>(sample_ticks[i]);
+                }
+            }
+            if (e.peak > 0.0)
+                r.switches.push_back(std::move(e));
+        } else if (kind == "sim") {
+            std::vector<double> events = numbers(ser.at("events"));
+            for (std::size_t i = 1; i < events.size(); ++i) {
+                double before = events[i - 1];
+                double after = events[i];
+                bool shift =
+                    (before > 0.0 &&
+                     (after >= before * phaseShiftRatio ||
+                      after * phaseShiftRatio <= before)) ||
+                    (before == 0.0 && after > 0.0);
+                if (shift) {
+                    r.phases.push_back(PhaseBoundary{
+                        static_cast<Tick>(sample_ticks[i]), before,
+                        after});
+                }
+            }
+        }
+    }
+
+    // Rank: links by time saturated, then by peak; switches by peak
+    // backlog. Ties break on id to keep the report deterministic.
+    std::sort(r.links.begin(), r.links.end(),
+              [](const BottleneckEntry &a, const BottleneckEntry &b) {
+                  if (a.fracAbove90 != b.fracAbove90)
+                      return a.fracAbove90 > b.fracAbove90;
+                  if (a.peak != b.peak)
+                      return a.peak > b.peak;
+                  return a.id < b.id;
+              });
+    std::sort(r.switches.begin(), r.switches.end(),
+              [](const BottleneckEntry &a, const BottleneckEntry &b) {
+                  if (a.peak != b.peak)
+                      return a.peak > b.peak;
+                  return a.id < b.id;
+              });
+
+    // --- PR latency stage attribution (needs the stats document) ---
+    if (stats) {
+        if (!stats->has("schema") ||
+            stats->at("schema").string != "netsparse-stats-v1")
+            throw std::runtime_error("not a netsparse-stats-v1 "
+                                     "document");
+        const jsonlite::Value &sreg =
+            stats->at("runs").at(runIndex).at("stats");
+        static const char *stage_names[] = {
+            "nicNs", "requestNetNs", "cacheNs", "remoteNs",
+            "responseNetNs",
+        };
+        for (const char *name : stage_names) {
+            std::string key =
+                std::string("cluster.prLatency.") + name;
+            if (!sreg.has(key))
+                continue;
+            const jsonlite::Value &hist = sreg.at(key);
+            StageTotal st;
+            st.name = name;
+            st.samples = static_cast<std::uint64_t>(
+                hist.at("total").number);
+            st.totalNs = histogramSum(hist);
+            st.p50Ns = sreg.has(key + ".p50")
+                           ? sreg.at(key + ".p50").at("value").number
+                           : 0.0;
+            st.p99Ns = sreg.has(key + ".p99")
+                           ? sreg.at(key + ".p99").at("value").number
+                           : 0.0;
+            if (st.samples > 0)
+                r.stages.push_back(std::move(st));
+        }
+        std::sort(r.stages.begin(), r.stages.end(),
+                  [](const StageTotal &a, const StageTotal &b) {
+                      if (a.totalNs != b.totalNs)
+                          return a.totalNs > b.totalNs;
+                      return a.name < b.name;
+                  });
+    }
+    return r;
+}
+
+void
+printTelemetryReport(const TelemetryReport &r, std::ostream &os)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "telemetry report: %zu samples x %.2f us, run ends at "
+                  "%.2f us\n",
+                  r.numSamples, ticks::toNs(r.intervalTicks) / 1e3,
+                  ticks::toNs(r.finalTick) / 1e3);
+    os << buf;
+
+    os << "\nsaturated links (by time at >= 90% utilization):\n";
+    std::size_t shown = 0;
+    for (const auto &e : r.links) {
+        if (shown++ >= 10)
+            break;
+        std::snprintf(buf, sizeof(buf),
+                      "  %-14s %5.1f%% of run saturated, peak %.2f at "
+                      "%.2f us, peak queue %.0f B at %.2f us\n",
+                      e.id.c_str(), 100.0 * e.fracAbove90, e.peak,
+                      ticks::toNs(e.peakTick) / 1e3, e.peakQueueBytes,
+                      ticks::toNs(e.peakQueueTick) / 1e3);
+        os << buf;
+    }
+    if (r.links.empty())
+        os << "  (no link carried traffic)\n";
+
+    os << "\nswitches (by peak output backlog):\n";
+    shown = 0;
+    for (const auto &e : r.switches) {
+        if (shown++ >= 5)
+            break;
+        std::snprintf(buf, sizeof(buf),
+                      "  %-14s peak %.0f B queued at %.2f us\n",
+                      e.id.c_str(), e.peak,
+                      ticks::toNs(e.peakTick) / 1e3);
+        os << buf;
+    }
+    if (r.switches.empty())
+        os << "  (no switch reported backlog)\n";
+
+    os << "\nphase boundaries (cluster event throughput shifts):\n";
+    for (const auto &p : r.phases) {
+        std::snprintf(buf, sizeof(buf),
+                      "  %10.2f us: %.0f -> %.0f events/interval\n",
+                      ticks::toNs(p.tick) / 1e3, p.eventsBefore,
+                      p.eventsAfter);
+        os << buf;
+    }
+    if (r.phases.empty())
+        os << "  (steady throughput; none detected)\n";
+
+    if (!r.stages.empty()) {
+        os << "\nPR latency decomposition (by aggregate stage time):\n";
+        for (const auto &st : r.stages) {
+            std::snprintf(buf, sizeof(buf),
+                          "  %-14s %12.0f ns total over %llu PRs "
+                          "(p50 %.0f ns, p99 %.0f ns)\n",
+                          st.name.c_str(), st.totalNs,
+                          static_cast<unsigned long long>(st.samples),
+                          st.p50Ns, st.p99Ns);
+            os << buf;
+        }
+        std::snprintf(buf, sizeof(buf),
+                      "  dominant stage: %s\n",
+                      r.dominantStage().c_str());
+        os << buf;
+    }
+    if (!r.links.empty()) {
+        std::snprintf(buf, sizeof(buf),
+                      "\nmost utilized link: %s\n",
+                      r.mostUtilizedLink().c_str());
+        os << buf;
+    }
+}
+
+} // namespace netsparse

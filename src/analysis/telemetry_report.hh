@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Post-run bottleneck attribution over the observability documents.
+ *
+ * The analyzer consumes a netsparse-telemetry-v1 timeline (and
+ * optionally the matching netsparse-stats-v1 snapshot) and condenses
+ * them into the questions a performance investigation starts with:
+ * which links and switches saturated, for how long and when; where
+ * the run's phase boundaries are (from the cluster-wide event
+ * throughput); and which PR lifecycle stage dominates end-to-end
+ * latency. The example CLI examples/telemetry_report.cpp prints the
+ * result; tests drive analyzeTelemetry() directly.
+ */
+
+#ifndef NETSPARSE_ANALYSIS_TELEMETRY_REPORT_HH
+#define NETSPARSE_ANALYSIS_TELEMETRY_REPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "analysis/json_lite.hh"
+#include "sim/types.hh"
+
+namespace netsparse {
+
+/** One link or switch ranked by how saturated its timeline is. */
+struct BottleneckEntry
+{
+    std::string id;
+    std::string kind;
+    /** Fraction of sample intervals at >= 90% wire utilization
+     *  (links; 0 for switches). */
+    double fracAbove90 = 0.0;
+    /** Peak utilization (links) / peak output backlog bytes
+     *  (switches). */
+    double peak = 0.0;
+    /** Simulated time of the peak sample. */
+    Tick peakTick = 0;
+    /** Peak transmit backlog in bytes (links). */
+    double peakQueueBytes = 0.0;
+    Tick peakQueueTick = 0;
+};
+
+/** A detected shift in cluster-wide event throughput. */
+struct PhaseBoundary
+{
+    /** Tick of the sample boundary the shift was detected at. */
+    Tick tick = 0;
+    /** Events per interval before / after the boundary. */
+    double eventsBefore = 0.0;
+    double eventsAfter = 0.0;
+};
+
+/** Aggregate time attributed to one PR lifecycle stage. */
+struct StageTotal
+{
+    std::string name;
+    /** Approximate total nanoseconds (histogram bucket midpoints). */
+    double totalNs = 0.0;
+    std::uint64_t samples = 0;
+    double p50Ns = 0.0;
+    double p99Ns = 0.0;
+};
+
+/** The condensed report (see the file comment). */
+struct TelemetryReport
+{
+    Tick intervalTicks = 0;
+    Tick finalTick = 0;
+    std::size_t numSamples = 0;
+
+    /** Links ranked by time-above-90%, then peak utilization. */
+    std::vector<BottleneckEntry> links;
+    /** Switches ranked by peak output backlog. */
+    std::vector<BottleneckEntry> switches;
+    /** Throughput shifts in sample order. */
+    std::vector<PhaseBoundary> phases;
+
+    /** Lifecycle stages ranked by aggregate time; empty without a
+     *  stats document (or when the run had no latency collectors). */
+    std::vector<StageTotal> stages;
+
+    /** Convenience: ids of the top-ranked entries ("" when empty). */
+    std::string mostUtilizedLink() const;
+    std::string dominantStage() const;
+};
+
+/**
+ * Analyze run @p runIndex of a parsed telemetry document, optionally
+ * joining the same-index run of a parsed stats document for the PR
+ * latency stage ranking. Throws std::runtime_error on documents that
+ * do not follow the schemas in docs/observability.md.
+ */
+TelemetryReport analyzeTelemetry(const jsonlite::Value &telemetry,
+                                 const jsonlite::Value *stats = nullptr,
+                                 std::size_t runIndex = 0);
+
+/** Print the human-readable ranked report. */
+void printTelemetryReport(const TelemetryReport &r, std::ostream &os);
+
+} // namespace netsparse
+
+#endif // NETSPARSE_ANALYSIS_TELEMETRY_REPORT_HH

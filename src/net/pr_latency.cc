@@ -1,0 +1,79 @@
+#include "net/pr_latency.hh"
+
+namespace netsparse {
+
+namespace {
+
+double
+deltaNs(Tick from, Tick to)
+{
+    return ticks::toNs(to - from);
+}
+
+} // namespace
+
+void
+PrLatencyStats::record(const PropertyRequest &pr, Tick now)
+{
+    // A zero stamp means the stage never happened on this run (e.g. no
+    // ToR middle pipes) - skip the deltas that depend on it rather
+    // than pollute the histograms with bogus zero-origin spans.
+    if (pr.issueTick == 0)
+        return;
+    ++responses;
+    if (pr.servedByCache)
+        ++cacheServed;
+    totalNs.sample(deltaNs(pr.issueTick, now));
+    totalAvgNs.sample(deltaNs(pr.issueTick, now));
+    if (pr.egressTick >= pr.issueTick && pr.egressTick != 0) {
+        nicNs.sample(deltaNs(pr.issueTick, pr.egressTick));
+        if (pr.torIngressTick >= pr.egressTick && pr.torIngressTick != 0)
+            requestNetNs.sample(deltaNs(pr.egressTick, pr.torIngressTick));
+    }
+    if (pr.fetchTick != 0) {
+        if (pr.torIngressTick != 0 && pr.fetchTick >= pr.torIngressTick) {
+            double d = deltaNs(pr.torIngressTick, pr.fetchTick);
+            (pr.servedByCache ? cacheNs : remoteNs).sample(d);
+        }
+        if (now >= pr.fetchTick)
+            responseNetNs.sample(deltaNs(pr.fetchTick, now));
+    }
+}
+
+void
+PrLatencyStats::merge(const PrLatencyStats &o)
+{
+    nicNs.merge(o.nicNs);
+    requestNetNs.merge(o.requestNetNs);
+    cacheNs.merge(o.cacheNs);
+    remoteNs.merge(o.remoteNs);
+    responseNetNs.merge(o.responseNetNs);
+    totalNs.merge(o.totalNs);
+    totalAvgNs.merge(o.totalAvgNs);
+    responses += o.responses;
+    cacheServed += o.cacheServed;
+}
+
+void
+PrLatencyStats::exportStats(StatRegistry &reg,
+                            const std::string &prefix) const
+{
+    auto stage = [&](const std::string &name, const Histogram &h) {
+        const std::string base = prefix + "." + name;
+        reg.setHistogram(base, h);
+        reg.set(base + ".p50", h.percentile(50.0));
+        reg.set(base + ".p90", h.percentile(90.0));
+        reg.set(base + ".p99", h.percentile(99.0));
+        reg.set(base + ".p999", h.percentile(99.9));
+    };
+    stage("nicNs", nicNs);
+    stage("requestNetNs", requestNetNs);
+    stage("cacheNs", cacheNs);
+    stage("remoteNs", remoteNs);
+    stage("responseNetNs", responseNetNs);
+    stage("totalNs", totalNs);
+    reg.set(prefix + ".responses", static_cast<double>(responses));
+    reg.set(prefix + ".cacheServed", static_cast<double>(cacheServed));
+}
+
+} // namespace netsparse

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Per-PR latency lifecycle accounting (the Fig. 14 style breakdown).
+ *
+ * Every property request carries stage timestamps (see the stamp
+ * fields in net/protocol.hh): RIG issue -> SNIC egress -> requester's
+ * ToR ingress -> fetch (ToR Property Cache hit or remote DRAM) ->
+ * response accepted at the client. PrLatencyStats turns the stamps of
+ * each accepted response into stage-delta histograms:
+ *
+ *   nicNs          issue -> egress: NIC-side time (concatenation
+ *                  wait, transmit buffering) before serialization
+ *   requestNetNs   egress -> ToR ingress: first-hop serialization,
+ *                  queueing, propagation and the ingress pipe
+ *   cacheNs        ToR ingress -> fetch, responses served by the
+ *                  Property Cache (the middle-pipe lookup path)
+ *   remoteNs       ToR ingress -> fetch, cache misses: spine network
+ *                  plus the home node's PCIe/DRAM fetch
+ *   responseNetNs  fetch -> client: the response's way back
+ *   totalNs        issue -> client, every accepted response
+ *
+ * A stage whose stamps are absent (e.g. no middle pipes on a baseline
+ * run) simply records nothing. Collection is gated by the cluster on
+ * telemetry being enabled, so the lossless fast path and the exported
+ * stats document are untouched otherwise; per-node collectors merge
+ * exactly (integer bucket counts), keeping the cluster-wide document
+ * byte-identical at any shard count.
+ */
+
+#ifndef NETSPARSE_NET_PR_LATENCY_HH
+#define NETSPARSE_NET_PR_LATENCY_HH
+
+#include <string>
+
+#include "net/protocol.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace netsparse {
+
+/** Stage-delta latency accumulators for one collector (node/cluster). */
+struct PrLatencyStats
+{
+    /**
+     * Shared histogram geometry: [0, 100 us) in ns, 50 ns buckets.
+     * Every collector uses it so per-node histograms merge exactly
+     * into the cluster-wide ones and percentile() interpolates on the
+     * same grid everywhere.
+     */
+    static constexpr double histLoNs = 0.0;
+    static constexpr double histHiNs = 100000.0;
+    static constexpr std::size_t histBuckets = 2000;
+
+    Histogram nicNs{histLoNs, histHiNs, histBuckets};
+    Histogram requestNetNs{histLoNs, histHiNs, histBuckets};
+    Histogram cacheNs{histLoNs, histHiNs, histBuckets};
+    Histogram remoteNs{histLoNs, histHiNs, histBuckets};
+    Histogram responseNetNs{histLoNs, histHiNs, histBuckets};
+    Histogram totalNs{histLoNs, histHiNs, histBuckets};
+
+    /** End-to-end latency summary (count/mean/min/max) for per-node
+     *  export, where full histograms would bloat the document. */
+    Average totalAvgNs;
+
+    std::uint64_t responses = 0;
+    std::uint64_t cacheServed = 0;
+
+    /** Record one accepted response; @p now is the client's tick. */
+    void record(const PropertyRequest &pr, Tick now);
+
+    /** Fold another collector in (exact; geometries are shared). */
+    void merge(const PrLatencyStats &o);
+
+    /**
+     * Register the full decomposition under "<prefix>.": per stage a
+     * histogram "<prefix>.<stage>" plus exact-percentile scalars
+     * ".p50/.p90/.p99/.p999", and the ".responses"/".cacheServed"
+     * counters. Used for the cluster-wide aggregate.
+     */
+    void exportStats(StatRegistry &reg, const std::string &prefix) const;
+};
+
+} // namespace netsparse
+
+#endif // NETSPARSE_NET_PR_LATENCY_HH

@@ -57,6 +57,25 @@ struct PropertyRequest
      * poisoned cache entry cannot satisfy them.
      */
     bool bypassCache = false;
+
+    // --- PR latency lifecycle stamps (observability only) ---
+    // Simulation-side metadata like bypassCache: the stamps ride the
+    // struct with zero wire-size cost and are ignored by every
+    // component except the stampers below and the latency collector
+    // at the requesting client (net/pr_latency.hh). Zero means "not
+    // stamped" (e.g. the ToR stamp on a run without the NetSparse
+    // middle pipes). On a retransmitted PR the stamps describe the
+    // attempt whose response was accepted.
+    /** RIG client issued the read (RigClientUnit::sendReadPr). */
+    Tick issueTick = 0;
+    /** The read left the SNIC onto the NIC egress link. */
+    Tick egressTick = 0;
+    /** The read entered the requester's ToR middle pipe. */
+    Tick torIngressTick = 0;
+    /** The property was produced: ToR cache hit or remote fetch done. */
+    Tick fetchTick = 0;
+    /** The response was manufactured by a ToR Property Cache hit. */
+    bool servedByCache = false;
 };
 
 /** Header-size and MTU parameters (paper Table 5 defaults). */

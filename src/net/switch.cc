@@ -107,6 +107,11 @@ Switch::processMiddlePipe(Packet &&pkt, std::uint32_t in_port)
         tw.track(name_), "deconcat", eq_.now(),
         traceArgs({{"prs", static_cast<double>(prs.size())}})));
     for (auto &pr : prs) {
+        if (pr.type == PrType::Read && from_host) {
+            // Lifecycle stamp: the read reached its requester's ToR
+            // middle pipe (net/pr_latency.hh).
+            pr.torIngressTick = eq_.now();
+        }
         if (pr.type == PrType::Read && from_host && !egress_host &&
             pr.bypassCache) {
             // A corruption refetch: the requester demands the
@@ -123,6 +128,8 @@ Switch::processMiddlePipe(Packet &&pkt, std::uint32_t in_port)
                 pr.type = PrType::Response;
                 pr.payloadBytes = pr.propBytes;
                 pr.checksum = csum;
+                pr.fetchTick = eq_.now();
+                pr.servedByCache = true;
                 ++servedByCache_;
                 NS_TRACE(tw.instant(
                     tw.track(name_), "cache.hit", eq_.now(),

@@ -123,6 +123,9 @@ class Switch : public PacketSink
      */
     void exportStats(StatRegistry &reg, const std::string &prefix) const;
 
+    /** Attached output links in port order (telemetry samplers). */
+    const std::vector<Link *> &outLinks() const { return out_; }
+
     /** The middle-pipe Property Cache of pipe @p i (for tests). */
     PropertyCache &pipeCache(std::uint32_t i) { return *caches_[i]; }
     std::uint32_t numPipes() const

@@ -9,6 +9,7 @@
 #include "sim/logging.hh"
 #include "sim/shard_engine.hh"
 #include "sim/stats_export.hh"
+#include "sim/telemetry.hh"
 
 namespace netsparse {
 
@@ -106,12 +107,20 @@ ClusterSim::runGather(const Csr &m, const Partition1D &part,
         return part.ownerOf(static_cast<std::uint32_t>(idx));
     };
 
+    // Interval telemetry and the PR latency lifecycle share one gate:
+    // both cost nothing (no collectors, no stamping, a dead probe
+    // branch in the dispatch loop) unless the sink is enabled.
+    const bool telemetry_on =
+        TelemetrySink::instance().enabled() && cfg_.telemetryInterval > 0;
+
     std::vector<std::unique_ptr<Snic>> snics;
     snics.reserve(cfg_.numNodes);
     for (NodeId nid = 0; nid < cfg_.numNodes; ++nid) {
         snics.push_back(std::make_unique<Snic>(
             node_queue(nid), snic_cfg, nid, owner_of, m.cols,
             "node" + std::to_string(nid) + ".snic"));
+        if (telemetry_on)
+            snics.back()->enablePrLatency();
     }
 
     // --- Switches ---
@@ -142,6 +151,16 @@ ClusterSim::runGather(const Csr &m, const Partition1D &part,
             switch_queue(sid), sw_cfg, sid,
             "switch" + std::to_string(sid)));
     }
+    // Stats/telemetry identity of each switch ("tor<i>"/"spine<j>",
+    // numbered in construction order like the stats document).
+    std::vector<std::string> switch_names(topo.numSwitches());
+    {
+        std::uint32_t tors = 0, spines = 0;
+        for (SwitchId sid = 0; sid < topo.numSwitches(); ++sid)
+            switch_names[sid] =
+                topo.isTor(sid) ? "tor" + std::to_string(tors++)
+                                : "spine" + std::to_string(spines++);
+    }
 
     // --- Links ---
     // One directed link per (switch port, direction) plus one egress
@@ -163,10 +182,14 @@ ClusterSim::runGather(const Csr &m, const Partition1D &part,
     Tick lookahead = maxTick;
     std::uint32_t next_link_id = 0;
     std::vector<std::unique_ptr<Link>> links;
+    // links[i] is sampled by the shard whose events drive it: its
+    // sender's (telemetry registration below).
+    std::vector<std::uint32_t> link_shards;
 
     auto bind_link = [&](Link &link, std::uint32_t src_shard,
                          std::uint32_t dst_shard, Tick latency) {
         link.setOrderingId(next_link_id++);
+        link_shards.push_back(src_shard);
         // The injector keys its fault stream on the ordering id just
         // assigned, so the injected pattern is shard-count-invariant.
         if (cfg_.faults.enabled())
@@ -251,6 +274,86 @@ ClusterSim::runGather(const Csr &m, const Partition1D &part,
     for (auto &h : hosts)
         h->start([] {});
 
+    // --- Interval telemetry ---
+    // One probe per shard; every entity is registered on the shard
+    // whose events drive its state, under a cluster-wide order key
+    // (links by ordering id, then switches, then RIGs) so the merged
+    // document is independent of the shard count. Samplers read only
+    // their own entity, and boundary samples observe exactly the
+    // events with tick < boundary (sim/telemetry.hh), so every series
+    // is byte-identical at 1/2/4 shards.
+    const Tick tele_interval = cfg_.telemetryInterval;
+    std::vector<std::unique_ptr<TelemetryProbe>> probes;
+    if (telemetry_on) {
+        probes.reserve(num_shards);
+        for (std::uint32_t s = 0; s < num_shards; ++s) {
+            probes.push_back(
+                std::make_unique<TelemetryProbe>(tele_interval));
+            probes.back()->attachTo(*queues[s]);
+        }
+        const std::size_t num_links = links.size();
+        for (std::size_t i = 0; i < num_links; ++i) {
+            Link *lk = links[i].get();
+            probes[link_shards[i]]->addEntity(
+                i, lk->name(), "link", {"utilization", "queuedBytes"},
+                [lk, tele_interval, last_busy = Tick{0}](
+                    Tick boundary, std::vector<double> &out) mutable {
+                    // Wire time committed this interval over the
+                    // interval; a burst that books the wire past the
+                    // boundary can push it above 1 (the backlog then
+                    // shows up in queuedBytes).
+                    Tick busy = lk->busyTicks();
+                    out.push_back(static_cast<double>(busy - last_busy) /
+                                  static_cast<double>(tele_interval));
+                    last_busy = busy;
+                    out.push_back(lk->queuedBytesAt(boundary));
+                });
+        }
+        for (SwitchId sid = 0; sid < topo.numSwitches(); ++sid) {
+            Switch *sw = switches[sid].get();
+            probes[shard_map.shardOfSwitch(sid)]->addEntity(
+                num_links + sid, switch_names[sid], "switch",
+                {"outQueueBytes", "cacheHits", "cacheMisses",
+                 "cacheInserts"},
+                [sw, last_hits = std::uint64_t{0},
+                 last_lookups = std::uint64_t{0},
+                 last_inserts = std::uint64_t{0}](
+                    Tick boundary, std::vector<double> &out) mutable {
+                    double backlog = 0.0;
+                    for (const Link *l : sw->outLinks())
+                        backlog += l->queuedBytesAt(boundary);
+                    out.push_back(backlog);
+                    std::uint64_t hits = sw->cacheHits();
+                    std::uint64_t lookups = sw->cacheLookups();
+                    std::uint64_t inserts = sw->cacheInserts();
+                    out.push_back(
+                        static_cast<double>(hits - last_hits));
+                    out.push_back(static_cast<double>(
+                        (lookups - last_lookups) - (hits - last_hits)));
+                    out.push_back(
+                        static_cast<double>(inserts - last_inserts));
+                    last_hits = hits;
+                    last_lookups = lookups;
+                    last_inserts = inserts;
+                });
+        }
+        for (NodeId nid = 0; nid < cfg_.numNodes; ++nid) {
+            Snic *sn = snics[nid].get();
+            probes[shard_map.shardOfNode(nid)]->addEntity(
+                num_links + topo.numSwitches() + nid,
+                "node" + std::to_string(nid) + ".rig", "rig",
+                {"inflightPrs", "retransmits"},
+                [sn, last_retx = std::uint64_t{0}](
+                    Tick, std::vector<double> &out) mutable {
+                    out.push_back(
+                        static_cast<double>(sn->inflightPrs()));
+                    std::uint64_t retx = sn->totalRetransmits();
+                    out.push_back(static_cast<double>(retx - last_retx));
+                    last_retx = retx;
+                });
+        }
+    }
+
     // --- Run ---
     Tick final_tick = 0;
     std::uint64_t executed_events = 0;
@@ -297,6 +400,48 @@ ClusterSim::runGather(const Csr &m, const Partition1D &part,
         ns_fatal("gather deadlocked or exceeded the simulation cap: ",
                  done_count, "/", cfg_.numNodes, " nodes finished by ",
                  ticks::toNs(final_tick), " ns");
+    }
+
+    // --- Merge telemetry ---
+    if (telemetry_on) {
+        // Boundaries past each shard's last event never fired in the
+        // dispatch loop; sample them against the global final tick so
+        // every probe ends with the same timeline.
+        for (auto &p : probes)
+            p->flushUntil(final_tick);
+        const std::size_t samples = probes[0]->numSamples();
+        for (const auto &p : probes)
+            ns_assert(p->numSamples() == samples,
+                      "telemetry probes disagree on the sample count");
+        TelemetrySink::Run &trun = TelemetrySink::instance().beginRun();
+        trun.intervalTicks = tele_interval;
+        trun.finalTick = final_tick;
+        trun.sampleTicks.reserve(samples);
+        for (std::size_t i = 1; i <= samples; ++i)
+            trun.sampleTicks.push_back(i * tele_interval);
+        for (auto &p : probes)
+            for (auto &e : p->takeEntities())
+                trun.entities.push_back(std::move(e));
+        std::sort(trun.entities.begin(), trun.entities.end(),
+                  [](const TelemetryEntity &a, const TelemetryEntity &b) {
+                      return a.order < b.order;
+                  });
+        // Per-shard event throughput is the one inherently
+        // shard-dependent series; the document carries the cluster-wide
+        // sum as a single trailing "sim" entity (exact: the counts are
+        // integers far below 2^53).
+        TelemetryEntity sim;
+        sim.order = links.size() + topo.numSwitches() + cfg_.numNodes;
+        sim.id = "sim";
+        sim.kind = "sim";
+        sim.seriesNames = {"events"};
+        sim.series.emplace_back(samples, 0.0);
+        for (const auto &p : probes) {
+            const auto &ev = p->eventsPerInterval();
+            for (std::size_t i = 0; i < samples; ++i)
+                sim.series[0][i] += ev[i];
+        }
+        trun.entities.push_back(std::move(sim));
     }
 
     // --- Collect results ---
@@ -393,16 +538,20 @@ ClusterSim::runGather(const Csr &m, const Partition1D &part,
                     static_cast<double>(tx->busyTicks()));
             reg.set(node + ".tx.utilization", tx->utilization());
         }
-        std::uint32_t tors = 0, spines = 0;
-        for (SwitchId sid = 0; sid < topo.numSwitches(); ++sid) {
-            std::string prefix =
-                topo.isTor(sid) ? "tor" + std::to_string(tors++)
-                                : "spine" + std::to_string(spines++);
-            switches[sid]->exportStats(reg, prefix);
-        }
+        for (SwitchId sid = 0; sid < topo.numSwitches(); ++sid)
+            switches[sid]->exportStats(reg, switch_names[sid]);
         reg.set("sim.executedEvents",
                 static_cast<double>(executed_events));
         reg.set("sim.finalTick", static_cast<double>(final_tick));
+        if (telemetry_on) {
+            // Cluster-wide PR latency decomposition; per-node averages
+            // ride each SNIC's own exportStats above. Gated so the
+            // telemetry-off document stays byte-identical.
+            PrLatencyStats agg;
+            for (const auto &sn : snics)
+                agg.merge(*sn->prLatency());
+            agg.exportStats(reg, "cluster.prLatency");
+        }
     }
     return r;
 }
@@ -497,10 +646,16 @@ GatherRunResult::exportStats(StatRegistry &reg) const
     reg.set("cluster.idxsProcessed", idxs);
 
     // Distribution of node finish times (load imbalance, Figure 19).
+    reg.setHistogram("cluster.finishTimeNs", finishTimeHistogram());
+}
+
+Histogram
+GatherRunResult::finishTimeHistogram() const
+{
     Histogram finish(0.0, ticks::toNs(commTicks) + 1.0, 20);
     for (const auto &st : nodes)
         finish.sample(ticks::toNs(st.finishTick));
-    reg.setHistogram("cluster.finishTimeNs", finish);
+    return finish;
 }
 
 } // namespace netsparse

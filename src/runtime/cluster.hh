@@ -81,6 +81,14 @@ struct ClusterConfig
      */
     std::uint32_t simShards = 0;
 
+    /**
+     * Simulated-time telemetry sampling interval (--telemetry-interval).
+     * Takes effect only when the TelemetrySink is enabled; 0 disables
+     * sampling even then. Also gates the per-PR latency lifecycle
+     * collectors (net/pr_latency.hh).
+     */
+    Tick telemetryInterval = 10 * ticks::us;
+
     /** Simulation safety cap; exceeding it is a deadlock. */
     Tick maxSimTime = 60 * ticks::s;
 };
@@ -207,6 +215,13 @@ struct GatherRunResult
     }
 
     const NodeRunStats &tail() const { return nodes[tailNode]; }
+
+    /**
+     * Distribution of node finish times in nanoseconds - the exact
+     * histogram exported as "cluster.finishTimeNs", so percentiles
+     * computed from it agree with the stats JSON by construction.
+     */
+    Histogram finishTimeHistogram() const;
 
     /**
      * Export everything into a named stats registry (gem5/SST style),

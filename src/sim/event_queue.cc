@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/telemetry.hh"
 #include "sim/trace.hh"
 
 namespace netsparse {
@@ -128,6 +129,14 @@ EventQueue::step()
 {
     if (!advance())
         return false;
+    if (cur_.front().when >= probeNext_) {
+        // Telemetry boundary: the event about to run is the first at
+        // or past it, so the state right now is exactly the product
+        // of every event with an earlier tick - sample before
+        // executing (see sim/telemetry.hh for why this definition is
+        // shard-count-invariant).
+        probeNext_ = probe_->onBoundary(cur_.front().when);
+    }
     std::pop_heap(cur_.begin(), cur_.end(), Later{});
     Ref r = cur_.back();
     cur_.pop_back();

@@ -51,6 +51,8 @@
 
 namespace netsparse {
 
+class TelemetryProbe;
+
 /**
  * A two-level scheduler of timestamped callbacks with FIFO tie-breaking.
  */
@@ -159,6 +161,20 @@ class EventQueue
      */
     void fastForward(Tick t);
 
+    /**
+     * Hook @p probe into the dispatch loop: just before executing the
+     * first event at or past @p firstBoundary the queue calls
+     * probe->onBoundary() and continues at the tick it returns (see
+     * sim/telemetry.hh). Null detaches. The disabled-path cost is one
+     * never-true comparison per event.
+     */
+    void
+    attachProbe(TelemetryProbe *probe, Tick firstBoundary)
+    {
+        probe_ = probe;
+        probeNext_ = probe ? firstBoundary : maxTick;
+    }
+
   private:
     /** Ticks per wheel bucket, as a shift: 4096 ps (~4 ns). */
     static constexpr unsigned bucketShift = 12;
@@ -243,6 +259,11 @@ class EventQueue
     Tick now_ = 0;
     std::uint64_t nextSeq_ = internalKeyBase;
     std::uint64_t executed_ = 0;
+
+    /** Attached telemetry probe (see attachProbe); usually null. */
+    TelemetryProbe *probe_ = nullptr;
+    /** Next sample boundary; maxTick keeps the hook branch dead. */
+    Tick probeNext_ = maxTick;
 };
 
 } // namespace netsparse

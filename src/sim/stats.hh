@@ -84,6 +84,18 @@ class Histogram
 
     void sample(double v);
 
+    /**
+     * The value at percentile @p p (0..100), by linear interpolation
+     * inside the owning bucket. Samples in the underflow bin resolve
+     * to lo() and samples in the overflow bin to hi() - the histogram
+     * has no edge information beyond its range. An empty histogram
+     * returns 0.
+     */
+    double percentile(double p) const;
+
+    /** Fold another histogram in; geometries must match exactly. */
+    void merge(const Histogram &o);
+
     /** Count in bucket @p i; bucket 0 is underflow, last is overflow. */
     std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
     std::size_t numBuckets() const { return counts_.size(); }

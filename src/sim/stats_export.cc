@@ -20,9 +20,10 @@ atexitWrite()
 /** The calling thread's bound collector; null means "use the global". */
 thread_local StatsExport *tlsExport = nullptr;
 
-/** Print a double the way JSON wants (no inf/nan, full precision). */
+} // namespace
+
 void
-writeNumber(std::ostream &os, double v)
+writeJsonNumber(std::ostream &os, double v)
 {
     if (v != v || v > 1e308 || v < -1e308) {
         os << "null";
@@ -32,8 +33,6 @@ writeNumber(std::ostream &os, double v)
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     os << buf;
 }
-
-} // namespace
 
 std::string
 jsonEscape(const std::string &s)
@@ -83,30 +82,34 @@ writeStatsJson(const StatRegistry &reg, std::ostream &os)
         comma();
         os << '"' << jsonEscape(name) << "\": {\"type\":\"scalar\","
            << "\"value\":";
-        writeNumber(os, value);
+        writeJsonNumber(os, value);
         os << '}';
     }
     for (const auto &[name, avg] : reg.averages()) {
         comma();
         os << '"' << jsonEscape(name) << "\": {\"type\":\"average\","
            << "\"count\":" << avg.count() << ",\"sum\":";
-        writeNumber(os, avg.sum());
+        writeJsonNumber(os, avg.sum());
         os << ",\"mean\":";
-        writeNumber(os, avg.mean());
+        writeJsonNumber(os, avg.mean());
         os << ",\"min\":";
-        writeNumber(os, avg.min());
+        writeJsonNumber(os, avg.min());
         os << ",\"max\":";
-        writeNumber(os, avg.max());
+        writeJsonNumber(os, avg.max());
         os << '}';
     }
     for (const auto &[name, hist] : reg.histograms()) {
         comma();
         os << '"' << jsonEscape(name) << "\": {\"type\":\"histogram\","
            << "\"lo\":";
-        writeNumber(os, hist.lo());
+        writeJsonNumber(os, hist.lo());
         os << ",\"hi\":";
-        writeNumber(os, hist.hi());
-        os << ",\"total\":" << hist.totalSamples() << ",\"buckets\":[";
+        writeJsonNumber(os, hist.hi());
+        os << ",\"total\":" << hist.totalSamples() << ",\"p50\":";
+        writeJsonNumber(os, hist.percentile(50.0));
+        os << ",\"p99\":";
+        writeJsonNumber(os, hist.percentile(99.0));
+        os << ",\"buckets\":[";
         for (std::size_t b = 0; b < hist.numBuckets(); ++b) {
             if (b)
                 os << ',';
@@ -140,9 +143,20 @@ StatsExport::Bind::~Bind()
     tlsExport = prev_;
 }
 
-void
+bool
 StatsExport::setOutputPath(const std::string &path)
 {
+    // Probe-open now (append mode: creates the file, keeps any
+    // content) so a bad path - most commonly a directory that does
+    // not exist - fails loudly up front instead of producing a silent
+    // empty run when the atexit write finally discovers it.
+    if (!path.empty()) {
+        std::ofstream probe(path, std::ios::app);
+        if (!probe) {
+            ns_warn("cannot open stats output ", path);
+            return false;
+        }
+    }
     path_ = path;
     written_ = false;
 
@@ -151,6 +165,7 @@ StatsExport::setOutputPath(const std::string &path)
         std::atexit(atexitWrite);
         atexit_registered = true;
     }
+    return true;
 }
 
 StatRegistry &

@@ -45,6 +45,9 @@ namespace netsparse {
 /** Escape a string for inclusion in a JSON document. */
 std::string jsonEscape(const std::string &s);
 
+/** Print a double the way JSON wants (no inf/nan, full precision). */
+void writeJsonNumber(std::ostream &os, double v);
+
 /** Serialize @p reg as one JSON object (the "stats" value above). */
 void writeStatsJson(const StatRegistry &reg, std::ostream &os);
 
@@ -81,9 +84,11 @@ class StatsExport
 
     /**
      * Enable collection; the document is written to @p path by
-     * writeFile(), which is also registered atexit.
+     * writeFile(), which is also registered atexit. The path is
+     * probe-opened immediately: returns false (and collection stays
+     * off) when it cannot be created, e.g. its directory is missing.
      */
-    void setOutputPath(const std::string &path);
+    bool setOutputPath(const std::string &path);
 
     /**
      * Enable (or disable) collection without an output path - used by

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sim/stats_export.hh"
+#include "sim/telemetry.hh"
 #include "sim/trace.hh"
 
 namespace netsparse {
@@ -44,12 +45,18 @@ SweepExecutor::run(std::size_t n,
     const bool captureTrace = ambientTrace.enabled();
     const std::string tracePath = ambientTrace.path();
 
+    TelemetrySink &ambientTelemetry = TelemetrySink::instance();
+    const bool collectTelemetry = ambientTelemetry.enabled();
+
     // Per-point sinks, absorbed in index order after the join so the
-    // merged document matches a sequential sweep byte for byte.
+    // merged documents match a sequential sweep byte for byte.
     std::vector<std::unique_ptr<StatsExport>> pointStats(n);
+    std::vector<std::unique_ptr<TelemetrySink>> pointTelemetry(n);
     for (std::size_t i = 0; i < n; ++i) {
         pointStats[i] = std::make_unique<StatsExport>();
         pointStats[i]->setCollect(collectStats);
+        pointTelemetry[i] = std::make_unique<TelemetrySink>();
+        pointTelemetry[i]->setCollect(collectTelemetry);
     }
 
     std::atomic<std::size_t> next{0};
@@ -64,6 +71,7 @@ SweepExecutor::run(std::size_t n,
                 return;
             try {
                 StatsExport::Bind statsBind(*pointStats[i]);
+                TelemetrySink::Bind telemetryBind(*pointTelemetry[i]);
                 if (captureTrace) {
                     TraceWriter pointTrace;
                     TraceWriter::Bind traceBind(pointTrace);
@@ -97,6 +105,9 @@ SweepExecutor::run(std::size_t n,
     if (collectStats)
         for (std::size_t i = 0; i < n; ++i)
             ambientStats.absorb(std::move(*pointStats[i]));
+    if (collectTelemetry)
+        for (std::size_t i = 0; i < n; ++i)
+            ambientTelemetry.absorb(std::move(*pointTelemetry[i]));
 }
 
 } // namespace netsparse

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Interval telemetry: simulated-time sampling of component state.
+ *
+ * A TelemetryProbe rides inside one EventQueue's dispatch loop and
+ * samples a set of registered entities (links, switches, RIG units -
+ * the probe itself is component-agnostic; the cluster registers
+ * sampler closures) at every multiple of a configured simulated-time
+ * interval. Sampling is lazy: the queue consults the probe just
+ * before executing the first event at or past the next boundary B, so
+ * a sample at B observes the state produced by exactly the events
+ * with tick < B - a definition that is independent of the shard
+ * count, because every component is wholly owned by one shard and
+ * per-shard execution is tick-ordered. The cost when no probe is
+ * attached is a single always-false integer comparison per event.
+ *
+ * TelemetrySink is the collector behind --telemetry-out: after a run
+ * the cluster merges every shard's probe into one document,
+ *
+ *   {"schema":"netsparse-telemetry-v1",
+ *    "runs":[{"run":0,"label":"gather0","intervalTicks":T,
+ *             "finalTick":F,"sampleTicks":[...],
+ *             "entities":[{"id":"tor0","kind":"switch",
+ *                          "series":{"outQueueBytes":[...], ...}},
+ *                         ...]}]}
+ *
+ * with entities ordered by their cluster-wide registration index and
+ * all series aligned to sampleTicks. Like the stats document it is
+ * byte-identical at any shard count (per-shard event counts are the
+ * one inherently shard-dependent quantity, so the document carries
+ * their cluster-wide sum as the single "sim" entity). The schema is
+ * documented in docs/observability.md; sink threading mirrors
+ * StatsExport (thread-bound instance() with a process-global
+ * fallback, RAII Bind for sweep workers).
+ */
+
+#ifndef NETSPARSE_SIM_TELEMETRY_HH
+#define NETSPARSE_SIM_TELEMETRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace netsparse {
+
+class EventQueue;
+
+/** One sampled entity: aligned value series under a stable identity. */
+struct TelemetryEntity
+{
+    /** Cluster-wide registration index; the document sort key. */
+    std::size_t order = 0;
+    std::string id;
+    std::string kind;
+    std::vector<std::string> seriesNames;
+    /** series[i][k]: seriesNames[i] at the k-th sample boundary. */
+    std::vector<std::vector<double>> series;
+};
+
+/** Samples its entities at every interval boundary of one queue. */
+class TelemetryProbe
+{
+  public:
+    /**
+     * A sampler appends one value per declared series name for the
+     * boundary tick it is given. Stateful samplers (interval deltas)
+     * keep their cursor in the closure.
+     */
+    using Sampler =
+        std::function<void(Tick boundary, std::vector<double> &out)>;
+
+    explicit TelemetryProbe(Tick interval);
+
+    /** Register an entity; see TelemetryEntity for the fields. */
+    void addEntity(std::size_t order, std::string id, std::string kind,
+                   std::vector<std::string> seriesNames, Sampler sampler);
+
+    /**
+     * Hook this probe into @p eq's dispatch loop (at most one probe
+     * per queue) and source the "events per interval" counter from it.
+     */
+    void attachTo(EventQueue &eq);
+
+    /**
+     * EventQueue calls this just before executing an event at
+     * @p eventTick >= the next boundary: samples every boundary
+     * <= @p eventTick and returns the new next boundary.
+     */
+    Tick onBoundary(Tick eventTick);
+
+    /** Sample any remaining boundaries <= @p finalTick (end of run). */
+    void flushUntil(Tick finalTick);
+
+    Tick interval() const { return interval_; }
+    std::size_t numSamples() const { return numSamples_; }
+
+    /** Events executed on the attached queue, per interval. */
+    const std::vector<double> &eventsPerInterval() const
+    {
+        return events_;
+    }
+
+    /** The sampled entities (series filled up to numSamples()). */
+    std::vector<TelemetryEntity> takeEntities()
+    {
+        return std::move(entities_);
+    }
+
+  private:
+    void sampleAt(Tick boundary);
+
+    Tick interval_;
+    Tick next_;
+    EventQueue *eq_ = nullptr;
+    std::uint64_t lastExecuted_ = 0;
+    std::size_t numSamples_ = 0;
+    std::vector<TelemetryEntity> entities_;
+    std::vector<Sampler> samplers_;
+    std::vector<double> events_;
+    std::vector<double> scratch_;
+};
+
+/** The collector behind --telemetry-out (see the file comment). */
+class TelemetrySink
+{
+  public:
+    /** The sink bound to the calling thread (default: global()). */
+    static TelemetrySink &instance();
+
+    /** The process-wide sink behind --telemetry-out / atexit. */
+    static TelemetrySink &global();
+
+    /** RAII thread binding, mirroring StatsExport::Bind. */
+    class Bind
+    {
+      public:
+        explicit Bind(TelemetrySink &s);
+        ~Bind();
+        Bind(const Bind &) = delete;
+        Bind &operator=(const Bind &) = delete;
+
+      private:
+        TelemetrySink *prev_;
+    };
+
+    TelemetrySink() = default;
+    TelemetrySink(const TelemetrySink &) = delete;
+    TelemetrySink &operator=(const TelemetrySink &) = delete;
+
+    /**
+     * Enable collection and write the document to @p path at
+     * writeFile() / process exit. The path is probe-opened
+     * immediately: returns false (collection stays off) when it
+     * cannot be created, e.g. its directory does not exist.
+     */
+    bool setOutputPath(const std::string &path);
+
+    /** Enable (or disable) collection without an output path. */
+    void setCollect(bool on) { collect_ = on; }
+
+    /** True when runGather() should sample telemetry. */
+    bool enabled() const { return collect_ || !path_.empty(); }
+
+    /** One run's merged timeline. */
+    struct Run
+    {
+        std::string label;
+        Tick intervalTicks = 0;
+        Tick finalTick = 0;
+        std::vector<Tick> sampleTicks;
+        std::vector<TelemetryEntity> entities;
+    };
+
+    /**
+     * Open a new run section; empty labels serialize as "gather<N>"
+     * by final document position (absorb-stable, like StatsExport).
+     */
+    Run &beginRun(const std::string &label = {});
+
+    /** Move every run of @p other to the end of this document. */
+    void absorb(TelemetrySink &&other);
+
+    /** The whole document as a JSON string. */
+    std::string toJson() const;
+
+    /** Write the document to the configured path. */
+    void writeFile();
+
+    /** Drop collected runs and disable (tests / repeated tools). */
+    void reset();
+
+    std::size_t numRuns() const { return runs_.size(); }
+
+  private:
+    std::string path_;
+    bool collect_ = false;
+    std::vector<std::unique_ptr<Run>> runs_;
+    bool written_ = false;
+};
+
+} // namespace netsparse
+
+#endif // NETSPARSE_SIM_TELEMETRY_HH

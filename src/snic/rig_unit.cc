@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "net/pr_latency.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -243,6 +244,8 @@ RigClientUnit::onResponse(const PropertyRequest &pr)
         return;
     }
     ++stats_.responses;
+    if (PrLatencyStats *lat = ctx_.prLatency())
+        lat->record(pr, eq_.now());
 
     if (!cfg_.retry.enabled) {
         // The lossless fabric never corrupts; anything else is a
@@ -281,6 +284,7 @@ RigClientUnit::sendReadPr(std::uint32_t reqId, PropIdx idx, NodeId dest,
     pr.propBytes = cmd_.propBytes;
     pr.payloadBytes = 0;
     pr.bypassCache = bypassCache;
+    pr.issueTick = eq_.now();
     ctx_.sendPr(std::move(pr), dest);
 }
 
@@ -401,6 +405,7 @@ RigServerUnit::handleRead(PropertyRequest &&pr)
     pr.type = PrType::Response;
     pr.payloadBytes = pr.propBytes;
     pr.checksum = propertyChecksum(pr.idx);
+    pr.fetchTick = fetched;
 
     eq_.schedule(fetched, [this, resp = std::move(pr)]() mutable {
         NodeId back = resp.src;

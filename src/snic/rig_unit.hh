@@ -36,6 +36,8 @@
 
 namespace netsparse {
 
+struct PrLatencyStats;
+
 /**
  * The reliable-PR transport policy of a client RIG unit.
  *
@@ -126,6 +128,12 @@ class SnicContext
         static const std::string fallback = "snic";
         return fallback;
     }
+
+    /**
+     * The node's PR latency collector, or null when lifecycle
+     * accounting is off (the telemetry-disabled default).
+     */
+    virtual PrLatencyStats *prLatency() { return nullptr; }
 };
 
 /** Statistics of one client RIG unit. */
@@ -172,6 +180,9 @@ class RigClientUnit
 
     /** The unit's Pending PR Table (occupancy statistics). */
     const PendingPrTable &pendingTable() const { return pending_; }
+
+    /** Issued read PRs still awaiting a response (telemetry). */
+    std::uint64_t outstandingPrs() const { return outstanding_; }
 
   private:
     /** One issued read PR awaiting its response (retry enabled). */

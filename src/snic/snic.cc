@@ -25,9 +25,40 @@ Snic::Snic(EventQueue &eq, SnicConfig cfg, NodeId self,
         eq_, cfg_.concat,
         [this](Packet &&pkt) {
             ns_assert(egress_, "SNIC ", name_, " has no egress link");
+            if (prLatency_ && pkt.type == PrType::Read) {
+                // Lifecycle stamp: the reads leave the SNIC onto the
+                // NIC egress link (net/pr_latency.hh).
+                for (auto &pr : pkt.prs)
+                    pr.egressTick = eq_.now();
+            }
             egress_->send(std::move(pkt));
         },
         name_ + ".concat");
+}
+
+void
+Snic::enablePrLatency()
+{
+    if (!prLatency_)
+        prLatency_ = std::make_unique<PrLatencyStats>();
+}
+
+std::uint64_t
+Snic::inflightPrs() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : clients_)
+        n += c->outstandingPrs();
+    return n;
+}
+
+std::uint64_t
+Snic::totalRetransmits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &c : clients_)
+        n += c->stats().retransmits;
+    return n;
 }
 
 void
@@ -195,6 +226,13 @@ Snic::exportStats(StatRegistry &reg, const std::string &prefix) const
     reg.set(prefix + ".rx.responses",
             static_cast<double>(rxResponses_));
     reg.set(prefix + ".rx.reads", static_cast<double>(rxReads_));
+
+    if (prLatency_) {
+        // Lifecycle keys exist only when telemetry enabled the
+        // collector, keeping the default document byte-identical.
+        reg.setAverage(prefix + ".prLatency.totalNs",
+                       prLatency_->totalAvgNs);
+    }
 }
 
 } // namespace netsparse

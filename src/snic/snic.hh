@@ -15,6 +15,7 @@
 
 #include "concat/concatenator.hh"
 #include "net/link.hh"
+#include "net/pr_latency.hh"
 #include "net/protocol.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
@@ -88,6 +89,15 @@ class Snic : public PacketSink, public SnicContext
     IdxFilter &idxFilter() override { return filter_; }
     PcieModel &pcie() override { return pcie_; }
     const std::string &nodeName() const override { return name_; }
+    PrLatencyStats *prLatency() override { return prLatency_.get(); }
+
+    /**
+     * Allocate the PR latency collector: the clients start recording
+     * lifecycle stamps and the egress path starts stamping them. Left
+     * off (null) unless telemetry is enabled, so the default fast path
+     * and stats document are untouched.
+     */
+    void enablePrLatency();
 
     // --- Statistics ---
 
@@ -106,6 +116,11 @@ class Snic : public PacketSink, public SnicContext
     std::uint64_t rxPayloadBytes() const { return rxPayloadBytes_; }
     std::uint64_t rxResponses() const { return rxResponses_; }
     std::uint64_t rxReads() const { return rxReads_; }
+
+    /** Read PRs issued by this node still awaiting responses. */
+    std::uint64_t inflightPrs() const;
+    /** Retransmissions performed so far (telemetry retransmit rate). */
+    std::uint64_t totalRetransmits() const;
 
     RigClientUnit &clientUnit(std::uint32_t c) { return *clients_[c]; }
 
@@ -131,6 +146,7 @@ class Snic : public PacketSink, public SnicContext
     std::vector<std::unique_ptr<RigClientUnit>> clients_;
     std::vector<std::unique_ptr<RigServerUnit>> servers_;
     std::unique_ptr<Concatenator> concat_;
+    std::unique_ptr<PrLatencyStats> prLatency_;
     Link *egress_ = nullptr;
     std::uint32_t nextServer_ = 0; // Q Control round-robin pointer
 

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the bottleneck analyzer over hand-built observability
+ * documents: link/switch ranking, phase detection from the event
+ * throughput, PR-stage attribution from the stats document, and
+ * schema validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "analysis/telemetry_report.hh"
+
+using namespace netsparse;
+
+namespace {
+
+/** A minimal one-run timeline with the given entity array body. */
+std::string
+timelineWith(const std::string &entities)
+{
+    return std::string(R"({"schema":"netsparse-telemetry-v1","runs":[
+      {"run":0,"label":"gather0","intervalTicks":100,"finalTick":350,
+       "sampleTicks":[100,200,300],"entities":[)") +
+           entities + "]}]}";
+}
+
+} // namespace
+
+TEST(TelemetryReport, RanksLinksBySaturationThenPeak)
+{
+    jsonlite::Value doc = jsonlite::parse(timelineWith(R"(
+      {"id":"lkA","kind":"link","series":
+        {"utilization":[0.95,0.95,0.5],"queuedBytes":[10,5,0]}},
+      {"id":"lkB","kind":"link","series":
+        {"utilization":[1.0,0.2,0.2],"queuedBytes":[100,0,0]}},
+      {"id":"lkIdle","kind":"link","series":
+        {"utilization":[0,0,0],"queuedBytes":[0,0,0]}})"));
+
+    TelemetryReport r = analyzeTelemetry(doc);
+    EXPECT_EQ(r.numSamples, 3u);
+    EXPECT_EQ(r.intervalTicks, 100u);
+    EXPECT_EQ(r.finalTick, 350u);
+
+    // lkA saturated 2/3 samples and outranks lkB's single saturated
+    // sample despite lkB's higher peak; idle links are dropped.
+    ASSERT_EQ(r.links.size(), 2u);
+    EXPECT_EQ(r.links[0].id, "lkA");
+    EXPECT_NEAR(r.links[0].fracAbove90, 2.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(r.links[0].peak, 0.95);
+    EXPECT_EQ(r.links[0].peakTick, 100u);
+    EXPECT_DOUBLE_EQ(r.links[0].peakQueueBytes, 10.0);
+    EXPECT_EQ(r.links[0].peakQueueTick, 100u);
+    EXPECT_EQ(r.links[1].id, "lkB");
+    EXPECT_EQ(r.mostUtilizedLink(), "lkA");
+}
+
+TEST(TelemetryReport, RanksSwitchesAndDetectsPhases)
+{
+    jsonlite::Value doc = jsonlite::parse(timelineWith(R"(
+      {"id":"tor0","kind":"switch","series":
+        {"outQueueBytes":[10,800,0]}},
+      {"id":"tor1","kind":"switch","series":
+        {"outQueueBytes":[50,60,70]}},
+      {"id":"sim","kind":"sim","series":
+        {"events":[100,250,100]}})"));
+
+    TelemetryReport r = analyzeTelemetry(doc);
+    ASSERT_EQ(r.switches.size(), 2u);
+    EXPECT_EQ(r.switches[0].id, "tor0");
+    EXPECT_DOUBLE_EQ(r.switches[0].peak, 800.0);
+    EXPECT_EQ(r.switches[0].peakTick, 200u);
+    EXPECT_EQ(r.switches[1].id, "tor1");
+
+    // 100 -> 250 is a >= 2x ramp-up, 250 -> 100 a >= 2x ramp-down.
+    ASSERT_EQ(r.phases.size(), 2u);
+    EXPECT_EQ(r.phases[0].tick, 200u);
+    EXPECT_DOUBLE_EQ(r.phases[0].eventsBefore, 100.0);
+    EXPECT_DOUBLE_EQ(r.phases[0].eventsAfter, 250.0);
+    EXPECT_EQ(r.phases[1].tick, 300u);
+}
+
+TEST(TelemetryReport, AttributesDominantStageFromStats)
+{
+    jsonlite::Value telemetry = jsonlite::parse(timelineWith(""));
+    // Two stages: responseNetNs holds 4 samples in the bucket around
+    // 7.5 (total 30), nicNs 2 samples around 2.5 (total 5).
+    jsonlite::Value stats = jsonlite::parse(R"(
+      {"schema":"netsparse-stats-v1","runs":[{"run":0,"stats":{
+        "cluster.prLatency.nicNs":
+          {"type":"histogram","lo":0,"hi":10,"total":2,
+           "p50":2.0,"p99":3.0,"buckets":[0,2,0,0]},
+        "cluster.prLatency.nicNs.p50":{"type":"scalar","value":2.0},
+        "cluster.prLatency.nicNs.p99":{"type":"scalar","value":3.0},
+        "cluster.prLatency.responseNetNs":
+          {"type":"histogram","lo":0,"hi":10,"total":4,
+           "p50":7.0,"p99":8.0,"buckets":[0,0,4,0]},
+        "cluster.prLatency.responseNetNs.p50":
+          {"type":"scalar","value":7.0},
+        "cluster.prLatency.responseNetNs.p99":
+          {"type":"scalar","value":8.0},
+        "cluster.prLatency.cacheNs":
+          {"type":"histogram","lo":0,"hi":10,"total":0,
+           "p50":0,"p99":0,"buckets":[0,0,0,0]}
+      }}]})");
+
+    TelemetryReport r = analyzeTelemetry(telemetry, &stats);
+    // cacheNs has no samples and is dropped; the ranking is by
+    // aggregate (midpoint-approximated) stage time.
+    ASSERT_EQ(r.stages.size(), 2u);
+    EXPECT_EQ(r.stages[0].name, "responseNetNs");
+    EXPECT_DOUBLE_EQ(r.stages[0].totalNs, 30.0); // 4 x midpoint 7.5
+    EXPECT_EQ(r.stages[0].samples, 4u);
+    EXPECT_DOUBLE_EQ(r.stages[0].p50Ns, 7.0);
+    EXPECT_DOUBLE_EQ(r.stages[0].p99Ns, 8.0);
+    EXPECT_EQ(r.stages[1].name, "nicNs");
+    EXPECT_DOUBLE_EQ(r.stages[1].totalNs, 5.0); // 2 x midpoint 2.5
+    EXPECT_EQ(r.dominantStage(), "responseNetNs");
+
+    // The printed report names both rankings.
+    std::ostringstream os;
+    printTelemetryReport(r, os);
+    EXPECT_NE(os.str().find("dominant stage: responseNetNs"),
+              std::string::npos);
+}
+
+TEST(TelemetryReport, RejectsForeignDocuments)
+{
+    jsonlite::Value wrong =
+        jsonlite::parse(R"({"schema":"something-else","runs":[]})");
+    EXPECT_THROW(analyzeTelemetry(wrong), std::runtime_error);
+
+    jsonlite::Value telemetry = jsonlite::parse(timelineWith(""));
+    jsonlite::Value badStats =
+        jsonlite::parse(R"({"schema":"netsparse-telemetry-v1"})");
+    EXPECT_THROW(analyzeTelemetry(telemetry, &badStats),
+                 std::runtime_error);
+
+    // A run index past the document is also a schema error.
+    EXPECT_THROW(analyzeTelemetry(telemetry, nullptr, 5),
+                 std::runtime_error);
+}

@@ -4,7 +4,7 @@
 
 #include <sstream>
 
-#include "../support/json_lite.hh"
+#include "analysis/json_lite.hh"
 #include "runtime/cluster.hh"
 #include "sim/stats_export.hh"
 #include "sparse/generators.hh"

@@ -7,7 +7,7 @@
 #include <sstream>
 #include <string>
 
-#include "../support/json_lite.hh"
+#include "analysis/json_lite.hh"
 #include "sim/trace.hh"
 
 using namespace netsparse;
