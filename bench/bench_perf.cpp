@@ -76,6 +76,11 @@ runPhase(const char *label, std::uint32_t shards, const Csr &m,
     for (int r = 0; r < repeats; ++r) {
         ClusterConfig cfg = defaultClusterConfig(nodes);
         cfg.simShards = shards;
+        // The perf harness measures the batched-execution engine (the
+        // configuration the paper-scale runs use); NETSPARSE_PERF_EXACT=1
+        // falls back to per-event execution for comparison.
+        const char *exact = std::getenv("NETSPARSE_PERF_EXACT");
+        cfg.eventBatching = !(exact && *exact && *exact != '0');
         double cpu0 = cpuSeconds(), wall0 = wallSeconds();
         GatherRunResult res = ClusterSim(cfg).runGather(m, part, k);
         double cpu = cpuSeconds() - cpu0, wall = wallSeconds() - wall0;

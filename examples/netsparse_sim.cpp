@@ -22,6 +22,13 @@
  *     --no-cache           disable the Property Cache
  *     --cache-bytes B      Property Cache capacity per ToR
  *     --partition P        rows|nnz                      (default rows)
+ *     --stream             stream-generate the matrix directly into
+ *                          per-node partitions (named matrices only;
+ *                          no global COO/CSR is ever held - the
+ *                          paper-scale path, see docs/scaling.md)
+ *     --batched-events     coarser event batching (delivery trains +
+ *                          batched server reads); the paper-scale
+ *                          preset. Figure reproductions leave it off.
  *     --faults SPEC        fault injection, e.g.
  *                          drop:1e-4,corrupt:1e-5,down:1e-6,downUs:5,
  *                          degrade:1e-5,degradeUs:20,degradeFactor:0.25,
@@ -53,6 +60,7 @@
 #include "sim/trace.hh"
 #include "sparse/generators.hh"
 #include "sparse/mmio.hh"
+#include "sparse/stream_gen.hh"
 
 using namespace netsparse;
 
@@ -70,6 +78,7 @@ usage(const char *argv0)
                  "[--no-cache]\n"
                  "  [--cache-bytes B] [--partition rows|nnz] "
                  "[--shards N] [--stats]\n"
+                 "  [--stream] [--batched-events]\n"
                  "  [--faults drop:R,corrupt:R,down:R,downUs:T,"
                  "degrade:R,degradeUs:T,\n"
                  "            degradeFactor:F,seed:S]\n"
@@ -96,6 +105,7 @@ main(int argc, char **argv)
     std::uint64_t cache_bytes = 0;
     std::string partition = "rows";
     std::uint32_t shards = 0;
+    bool stream = false, batched_events = false;
     bool dump_stats = false;
     std::string stats_json, trace_out, faults_spec, telemetry_out;
     double telemetry_interval_us = 10.0;
@@ -133,6 +143,10 @@ main(int argc, char **argv)
             partition = next();
         else if (a == "--shards")
             shards = std::atoi(next());
+        else if (a == "--stream")
+            stream = true;
+        else if (a == "--batched-events")
+            batched_events = true;
         else if (a == "--faults")
             faults_spec = next();
         else if (a.rfind("--faults=", 0) == 0)
@@ -155,25 +169,57 @@ main(int argc, char **argv)
 
     // --- Workload ---
     Csr m;
+    GatherWorkload work;
+    std::uint64_t mat_rows = 0, mat_cols = 0, mat_nnz = 0;
     bool named = false;
+    MatrixKind named_kind = MatrixKind::Arabic;
     for (auto kind : allMatrixKinds()) {
         if (matrix_arg == matrixName(kind)) {
-            m = makeBenchmarkMatrix(kind, scale);
             named = true;
+            named_kind = kind;
         }
     }
-    if (!named) {
-        Coo coo = readMatrixMarketFile(matrix_arg);
-        if (coo.rows != coo.cols) {
+    if (stream) {
+        if (!named) {
             std::fprintf(stderr,
-                         "distributed gathers need a square matrix\n");
+                         "--stream generates; it cannot read a .mtx "
+                         "file\n");
             return 1;
         }
-        m = Csr::fromCoo(coo);
+        if (partition == "nnz") {
+            std::fprintf(stderr,
+                         "--stream builds equal-rows partitions\n");
+            return 1;
+        }
+        PartitionedMatrix pm =
+            buildPartitionedBenchmark(named_kind, scale, nodes);
+        mat_rows = pm.rows;
+        mat_cols = pm.cols;
+        mat_nnz = pm.nnz;
+        work.numIdxs = pm.cols;
+        work.part = pm.part;
+        work.streams = pm.takeStreams();
+    } else {
+        if (named) {
+            m = makeBenchmarkMatrix(named_kind, scale);
+        } else {
+            Coo coo = readMatrixMarketFile(matrix_arg);
+            if (coo.rows != coo.cols) {
+                std::fprintf(stderr,
+                             "distributed gathers need a square "
+                             "matrix\n");
+                return 1;
+            }
+            m = Csr::fromCoo(coo);
+        }
+        mat_rows = m.rows;
+        mat_cols = m.cols;
+        mat_nnz = m.nnz();
     }
-    Partition1D part = partition == "nnz"
-                           ? Partition1D::equalNnz(m, nodes)
-                           : Partition1D::equalRows(m.rows, nodes);
+    Partition1D part;
+    if (!stream)
+        part = partition == "nnz" ? Partition1D::equalNnz(m, nodes)
+                                  : Partition1D::equalRows(m.rows, nodes);
 
     // --- Cluster ---
     ClusterConfig cfg = defaultClusterConfig(nodes);
@@ -199,6 +245,7 @@ main(int argc, char **argv)
     if (cache_bytes)
         cfg.propertyCacheBytes = cache_bytes;
     cfg.simShards = shards;
+    cfg.eventBatching = batched_events;
     if (!faults_spec.empty())
         cfg.faults = FaultConfig::parse(faults_spec);
     cfg.telemetryInterval = static_cast<Tick>(
@@ -210,10 +257,11 @@ main(int argc, char **argv)
         return 1;
     }
 
-    std::printf("netsparse_sim: %s (%u x %u, %zu nnz), %u nodes, K=%u, "
-                "%s\n",
-                matrix_arg.c_str(), m.rows, m.cols, m.nnz(), nodes, k,
-                topology.c_str());
+    std::printf("netsparse_sim: %s (%llu x %llu, %llu nnz%s), %u nodes, "
+                "K=%u, %s\n",
+                matrix_arg.c_str(), (unsigned long long)mat_rows,
+                (unsigned long long)mat_cols, (unsigned long long)mat_nnz,
+                stream ? ", streamed" : "", nodes, k, topology.c_str());
 
     // Every output path is probe-opened before the simulation starts:
     // a path into a missing directory fails here with a clear message
@@ -237,7 +285,8 @@ main(int argc, char **argv)
     }
 
     ClusterSim sim(cfg);
-    GatherRunResult r = sim.runGather(m, part, k);
+    GatherRunResult r = stream ? sim.runGather(std::move(work), k)
+                               : sim.runGather(m, part, k);
 
     TraceWriter::instance().close();
     StatsExport::instance().writeFile();

@@ -26,7 +26,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "net/protocol.hh"
@@ -102,23 +101,37 @@ class Concatenator
     struct Cq
     {
         std::vector<PropertyRequest> prs;
-        std::vector<Tick> enterTimes;
         std::uint32_t bytes = 0; // PR-layer bytes (headers + payloads)
         std::uint64_t generation = 0;
         bool armed = false; // an EQ entry (timer) is outstanding
         NodeId dest = invalidNode;
         PrType type = PrType::Read;
+        /**
+         * Enter-time summary replacing a per-PR timestamp vector:
+         * pushes are time-ordered, so (first, last, sum, prs.size())
+         * reproduces the flush-time wait statistics exactly - min wait
+         * is now-enterLast, max is now-enterFirst, and the sum is
+         * prs.size()*now - enterSum, all in exact integer arithmetic.
+         */
+        Tick enterFirst = 0;
+        Tick enterLast = 0;
+        std::uint64_t enterSum = 0;
     };
 
-    static std::uint64_t
-    key(PrType type, NodeId dest)
+    /**
+     * Index of (type, dest) in the dense CQ table. Grouped by dest so
+     * both of a destination's CQs share cache lines.
+     */
+    static std::size_t
+    denseKey(PrType type, NodeId dest)
     {
-        return (static_cast<std::uint64_t>(type) << 32) | dest;
+        return (static_cast<std::size_t>(dest) << 1) |
+               static_cast<std::size_t>(type);
     }
 
     void emitSolo(PropertyRequest &&pr, NodeId dest);
     void flush(Cq &cq, const char *reason);
-    void arm(Cq &cq);
+    void arm(std::size_t idx);
     /** Bytes the pool must hold for @p cq's current content. */
     std::uint32_t physicalBlocks(std::uint32_t bytes) const;
     /** Free one block-equivalent by flushing the fullest virtual CQ. */
@@ -129,7 +142,16 @@ class Concatenator
     Emit emit_;
     std::string name_;
 
-    std::unordered_map<std::uint64_t, Cq> queues_;
+    /**
+     * Dense CQ table indexed by denseKey (grown on demand to
+     * 2*(max dest + 1) entries; a few hundred KB at 1024 nodes). The
+     * CQ lookup sits on the hottest simulator path - one per PR sent -
+     * and profiling at bench scale showed the former hash map's lookup
+     * as the single largest cost, so the table trades a bounded strip
+     * of memory for an indexed load. Expiry timers capture the index,
+     * never a pointer: the table may grow while a timer is in flight.
+     */
+    std::vector<Cq> queues_;
     std::uint64_t pendingPrs_ = 0;
     std::uint64_t occupiedBytes_ = 0;
     std::uint32_t blocksInUse_ = 0;

@@ -83,7 +83,7 @@ HostNode::pump()
                 retryQueue_.pop_front();
             else
                 nextOffset_ += batch.count;
-            inflightBatches_.emplace(wr.wrId, batch);
+            inflightBatches_.push_back({wr.wrId, batch});
             pump(); // keep additional free units fed
         }
         // When no unit was free, a completion will re-invoke pump().
@@ -98,11 +98,13 @@ HostNode::drainCq()
     bool completed = false;
     while (qp_.pollCq(wc)) {
         completed = true;
-        auto it = inflightBatches_.find(wc.wrId);
+        auto it = std::find_if(
+            inflightBatches_.begin(), inflightBatches_.end(),
+            [&](const InflightEntry &e) { return e.wrId == wc.wrId; });
         if (wc.status != IbvWc::Status::Success) {
             ++failures_;
             if (it != inflightBatches_.end()) {
-                InflightBatch batch = it->second;
+                InflightBatch batch = it->batch;
                 if (batch.attempts < cfg_.commandRetries) {
                     // Retry-after-watchdog: re-post the whole batch.
                     // The SNIC discarded its partial results; filter

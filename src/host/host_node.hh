@@ -15,7 +15,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "host/verbs.hh"
@@ -112,6 +111,13 @@ class HostNode
         std::uint32_t attempts = 0;
     };
 
+    /** A posted batch keyed by its work-request id. */
+    struct InflightEntry
+    {
+        std::uint64_t wrId = 0;
+        InflightBatch batch;
+    };
+
     void pump();
     void drainCq();
 
@@ -132,8 +138,14 @@ class HostNode
     std::uint64_t commandsIssued_ = 0;
     std::uint64_t nextWrId_ = 1;
 
-    /** Posted batches by wrId (ordered: deterministic bookkeeping). */
-    std::map<std::uint64_t, InflightBatch> inflightBatches_;
+    /**
+     * Posted batches, wrId-sorted (ids are issued monotonically, so
+     * push_back keeps the order). Outstanding depth is bounded by the
+     * SNIC's client-unit count, so a flat vector replaces the former
+     * std::map: no per-batch heap node, and at 1024 nodes the host-side
+     * bookkeeping stays a few cache lines per node.
+     */
+    std::vector<InflightEntry> inflightBatches_;
     /** Failed batches waiting to be re-posted, oldest first. */
     std::deque<InflightBatch> retryQueue_;
     std::uint64_t commandRetries_ = 0;

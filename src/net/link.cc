@@ -68,6 +68,12 @@ Link::send(Packet &&pkt)
     Tick arrival = busyUntil_ + cfg_.latency;
     std::uint64_t key = EventQueue::deliveryKey(orderingId_,
                                                deliverySeq_++);
+    // Zero-latency links cannot train: a same-tick flush could race
+    // the append (and such configurations run single-shard anyway).
+    if (cfg_.batchMaxPackets > 1 && cfg_.latency > 0) {
+        sendBatched(arrival, key, start, std::move(pkt));
+        return;
+    }
     if (outbox_) {
         // Cross-shard edge: hand the packet to the destination shard's
         // mailbox; it schedules the delivery on its own queue under the
@@ -82,6 +88,72 @@ Link::send(Packet &&pkt)
                          [this, p = std::move(pkt)]() mutable {
                              sink_->receivePacket(std::move(p), sinkPort_);
                          });
+}
+
+void
+Link::sendBatched(Tick arrival, std::uint64_t key, Tick start,
+                  Packet &&pkt)
+{
+    // Arrivals are nondecreasing (busy-until chain) and keys strictly
+    // increase, so appending to the newest train keeps every train's
+    // packets in exact (tick, key) order, and train deadlines are
+    // nondecreasing front to back - no delivery can overtake another.
+    if (!trains_.empty()) {
+        Train &back = trains_.back();
+        if (back.count < cfg_.batchMaxPackets && arrival <= back.deadline) {
+            ++back.count;
+            if (outbox_)
+                outbox_->push(PendingDelivery{back.deadline, key, sink_,
+                                              sinkPort_, std::move(pkt)});
+            else
+                back.pkts.push_back(std::move(pkt));
+            return;
+        }
+    }
+    // Open a train when the wire is backlogged (the burst case the
+    // batching targets), or when an exact-time delivery would overtake
+    // packets an older (full) train is still holding.
+    bool backlogged = start > eq_.now();
+    bool would_overtake =
+        !trains_.empty() && arrival <= trains_.back().deadline;
+    if (backlogged || would_overtake) {
+        Train t;
+        t.deadline = arrival + cfg_.batchHoldTicks;
+        t.count = 1;
+        if (outbox_) {
+            outbox_->push(PendingDelivery{t.deadline, key, sink_,
+                                          sinkPort_, std::move(pkt)});
+        } else {
+            t.pkts.push_back(std::move(pkt));
+            eq_.scheduleDelivery(t.deadline, key,
+                                 [this] { flushTrain(); });
+        }
+        trains_.push_back(std::move(t));
+        return;
+    }
+    // Idle wire: deliver exactly on time, per packet.
+    if (outbox_) {
+        outbox_->push(PendingDelivery{arrival, key, sink_, sinkPort_,
+                                      std::move(pkt)});
+        return;
+    }
+    eq_.scheduleDelivery(arrival, key,
+                         [this, p = std::move(pkt)]() mutable {
+                             sink_->receivePacket(std::move(p), sinkPort_);
+                         });
+}
+
+void
+Link::flushTrain()
+{
+    ns_assert(!trains_.empty(), "train flush with no train");
+    Train t = std::move(trains_.front());
+    trains_.pop_front();
+    // This one event stands for the whole train; account the rest so
+    // executedEvents() equals the cross-shard (per-packet) execution.
+    eq_.addExecutedEvents(t.pkts.size() - 1);
+    for (auto &p : t.pkts)
+        sink_->receivePacket(std::move(p), sinkPort_);
 }
 
 } // namespace netsparse

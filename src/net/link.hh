@@ -16,8 +16,10 @@
 #ifndef NETSPARSE_NET_LINK_HH
 #define NETSPARSE_NET_LINK_HH
 
+#include <deque>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "net/fault_model.hh"
 #include "net/protocol.hh"
@@ -59,6 +61,23 @@ struct LinkConfig
 {
     Bandwidth bandwidth = Bandwidth::fromGbps(400.0);
     Tick latency = 450 * ticks::ns;
+
+    /**
+     * Delivery-train batching (docs/scaling.md). When a burst backs up
+     * the wire, consecutive deliveries whose arrival falls within
+     * batchHoldTicks of the train head are executed by one scheduled
+     * event at the train's deadline, in exact (tick, key) order;
+     * telemetry-identified link backlogs are where the event count
+     * concentrates, and this collapses them by up to batchMaxPackets.
+     * Deliveries on an idle wire stay exactly on time. 1 disables
+     * (the default: timing-exact per-packet delivery). Statistics stay
+     * byte-identical across shard counts either way - a cross-shard
+     * train splits into per-packet events at the same ticks and keys,
+     * and the executed-event accounting matches by construction.
+     */
+    std::uint32_t batchMaxPackets = 1;
+    /** Train hold window beyond the head packet's arrival. */
+    Tick batchHoldTicks = 500 * ticks::ns;
 };
 
 /** One directed link. */
@@ -160,6 +179,25 @@ class Link
     const LinkConfig &config() const { return cfg_; }
 
   private:
+    /**
+     * A delivery train: packets whose arrivals share one hold window,
+     * delivered together at @p deadline by a single event (intra-shard)
+     * or as per-packet mailbox records at the same tick (cross-shard).
+     */
+    struct Train
+    {
+        Tick deadline = 0;
+        std::uint32_t count = 0;
+        std::vector<Packet> pkts; // empty on cross-shard links
+    };
+
+    /** Route one sent packet through the train batcher. */
+    void sendBatched(Tick arrival, std::uint64_t key, Tick start,
+                     Packet &&pkt);
+
+    /** Deliver the oldest train (its scheduled flush event). */
+    void flushTrain();
+
     EventQueue &eq_;
     LinkConfig cfg_;
     ProtocolParams proto_;
@@ -173,6 +211,8 @@ class Link
     /** Delivered-packet count; the low half of the delivery key. */
     std::uint64_t deliverySeq_ = 0;
     DeliveryMailbox *outbox_ = nullptr;
+    /** Open and not-yet-flushed trains, oldest first (see Train). */
+    std::deque<Train> trains_;
 
     std::uint64_t packets_ = 0;
     std::uint64_t bytes_ = 0;

@@ -25,6 +25,11 @@ defaultClusterConfig(std::uint32_t nodes)
 
 ClusterSim::ClusterSim(ClusterConfig cfg) : cfg_(std::move(cfg))
 {
+    if (cfg_.eventBatching) {
+        if (cfg_.link.batchMaxPackets <= 1)
+            cfg_.link.batchMaxPackets = 16;
+        cfg_.snic.batchedServerReads = true;
+    }
     ns_assert(cfg_.numNodes >= 1, "cluster needs nodes");
     ns_assert(!cfg_.features.switchCache || cfg_.features.concatSwitch,
               "the Property Cache lives in the middle pipes; enable "
@@ -35,10 +40,36 @@ GatherRunResult
 ClusterSim::runGather(const Csr &m, const Partition1D &part,
                       std::uint32_t k)
 {
+    ns_assert(m.rows == m.cols, "distributed kernels use square matrices");
     ns_assert(part.numParts() == cfg_.numNodes,
               "partition has ", part.numParts(), " parts for ",
               cfg_.numNodes, " nodes");
-    ns_assert(m.rows == m.cols, "distributed kernels use square matrices");
+    // Slice the per-node row-scan streams out of the global matrix;
+    // the workload overload is the real entry point (paper-scale runs
+    // reach it without ever holding a global matrix).
+    GatherWorkload work;
+    work.numIdxs = m.cols;
+    work.part = part;
+    work.streams.reserve(cfg_.numNodes);
+    for (NodeId nid = 0; nid < cfg_.numNodes; ++nid)
+        work.streams.emplace_back(
+            m.colIdx.begin() + m.rowPtr[part.begin(nid)],
+            m.colIdx.begin() + m.rowPtr[part.end(nid)]);
+    return runGather(std::move(work), k);
+}
+
+GatherRunResult
+ClusterSim::runGather(GatherWorkload &&work, std::uint32_t k)
+{
+    const Partition1D &part = work.part;
+    ns_assert(part.numParts() == cfg_.numNodes,
+              "partition has ", part.numParts(), " parts for ",
+              cfg_.numNodes, " nodes");
+    ns_assert(work.streams.size() == cfg_.numNodes,
+              "workload has ", work.streams.size(), " streams for ",
+              cfg_.numNodes, " nodes");
+    ns_assert(work.numIdxs >= part.total(),
+              "property space smaller than the partition");
     const std::uint32_t prop_bytes = 4 * k;
 
     // --- Topology ---
@@ -117,8 +148,9 @@ ClusterSim::runGather(const Csr &m, const Partition1D &part,
     snics.reserve(cfg_.numNodes);
     for (NodeId nid = 0; nid < cfg_.numNodes; ++nid) {
         snics.push_back(std::make_unique<Snic>(
-            node_queue(nid), snic_cfg, nid, owner_of, m.cols,
+            node_queue(nid), snic_cfg, nid, owner_of, work.numIdxs,
             "node" + std::to_string(nid) + ".snic"));
+        snics.back()->setOwnerPartition(part);
         if (telemetry_on)
             snics.back()->enablePrLatency();
     }
@@ -262,12 +294,9 @@ ClusterSim::runGather(const Csr &m, const Partition1D &part,
     std::vector<std::unique_ptr<HostNode>> hosts;
     hosts.reserve(cfg_.numNodes);
     for (NodeId nid = 0; nid < cfg_.numNodes; ++nid) {
-        std::vector<std::uint32_t> stream(
-            m.colIdx.begin() + m.rowPtr[part.begin(nid)],
-            m.colIdx.begin() + m.rowPtr[part.end(nid)]);
         hosts.push_back(std::make_unique<HostNode>(
-            node_queue(nid), cfg_.host, *snics[nid], std::move(stream),
-            prop_bytes));
+            node_queue(nid), cfg_.host, *snics[nid],
+            std::move(work.streams[nid]), prop_bytes));
     }
     // Completion is read off HostNode::done() after the run; a shared
     // counter would be written concurrently from several shards.

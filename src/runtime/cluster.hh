@@ -73,6 +73,19 @@ struct ClusterConfig
     bool virtualizedCqs = false;
 
     /**
+     * Batched event execution (docs/scaling.md): turns on link
+     * delivery trains (LinkConfig::batchMaxPackets) and batched server
+     * reads (SnicConfig::batchedServerReads) across the cluster.
+     * Deterministic and shard-invariant, but a coarser timing model
+     * than the default per-event execution: deliveries backed up on a
+     * wire may land up to the train hold window late, and a packet's
+     * read responses leave together at the last fetch completion. The
+     * perf benchmark and the paper-scale presets enable it; figure
+     * reproductions keep it off.
+     */
+    bool eventBatching = false;
+
+    /**
      * Shards (worker threads) for the parallel engine: 1 runs
      * sequentially, N partitions the cluster rack-granularly onto N
      * private event queues (src/runtime/shard_map.hh), 0 consults
@@ -230,6 +243,26 @@ struct GatherRunResult
     void exportStats(StatRegistry &reg) const;
 };
 
+/**
+ * A gather described directly by its per-node index streams.
+ *
+ * This is the form the simulation actually consumes: each node's stream
+ * is the concatenated column indices of its owned rows, in row-scan
+ * order. Paper-scale runs build it with sparse/stream_gen.hh (via
+ * PartitionedMatrix::takeStreams()) so no global matrix is ever held;
+ * the Csr overload of runGather produces the identical workload by
+ * slicing, so both paths yield byte-identical statistics.
+ */
+struct GatherWorkload
+{
+    /** Property-space width = matrix columns (sizes the Idx Filters). */
+    std::uint32_t numIdxs = 0;
+    /** Property ownership; numParts() must equal the cluster's nodes. */
+    Partition1D part;
+    /** streams[n] = node n's row-scan index stream (moved into hosts). */
+    std::vector<std::vector<std::uint32_t>> streams;
+};
+
 /** Builds and runs one cluster. */
 class ClusterSim
 {
@@ -246,6 +279,12 @@ class ClusterSim
      */
     GatherRunResult runGather(const Csr &m, const Partition1D &part,
                               std::uint32_t k);
+
+    /**
+     * Same run, from pre-partitioned per-node streams (the streaming
+     * paper-scale path). The workload's streams are consumed.
+     */
+    GatherRunResult runGather(GatherWorkload &&work, std::uint32_t k);
 
     const ClusterConfig &config() const { return cfg_; }
 

@@ -150,6 +150,15 @@ class EventQueue
     /** Total number of events executed so far (for micro-benchmarks). */
     std::uint64_t executedEvents() const { return executed_; }
 
+    /**
+     * Account @p n extra executed events on behalf of a container
+     * event that stands for several logical ones (a link delivery
+     * train, net/link.cc). Keeps executedEvents() - and the telemetry
+     * events series built from it - equal to the split execution of
+     * the same work, which is what holds the count shard-invariant.
+     */
+    void addExecutedEvents(std::uint64_t n) { executed_ += n; }
+
     /** Event-pool slot watermark (for the perf benchmark). */
     std::size_t poolCapacity() const { return pool_.capacity(); }
 

@@ -44,6 +44,26 @@ class Average
             max_ = v;
     }
 
+    /**
+     * Fold @p count samples known only in aggregate: their @p sum and
+     * extrema. Produces bit-identical state to count individual
+     * sample() calls whenever the values are integers below 2^53
+     * (every tick statistic is), because each partial sum is then an
+     * exactly-representable double either way.
+     */
+    void
+    sampleBatch(std::uint64_t count, double sum, double lo, double hi)
+    {
+        if (count == 0)
+            return;
+        if (count_ == 0 || lo < min_)
+            min_ = lo;
+        if (count_ == 0 || hi > max_)
+            max_ = hi;
+        count_ += count;
+        sum_ += sum;
+    }
+
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }

@@ -32,6 +32,8 @@ class PendingPrTable
     explicit PendingPrTable(std::uint32_t capacity) : capacity_(capacity)
     {
         ns_assert(capacity_ > 0, "pending table needs capacity");
+        ns_assert(capacity_ <= 0xFFFF,
+                  "pending capacity exceeds the 16-bit slot counter");
         // <= 50% load at full CAM occupancy keeps probe chains short.
         std::size_t want = static_cast<std::size_t>(capacity_) * 2;
         slotCount_ = 16;
@@ -55,11 +57,13 @@ class PendingPrTable
     insert(PropIdx idx)
     {
         ns_assert(!full(), "pending table overflow");
+        ns_assert(idx <= 0xFFFFFFFFull,
+                  "idx ", idx, " exceeds the 32-bit slot key");
         std::size_t i = slotOf(idx);
         while (slots_[i].outstanding != 0 && slots_[i].idx != idx)
             i = (i + 1) & (slotCount_ - 1);
         if (slots_[i].outstanding == 0) {
-            slots_[i].idx = idx;
+            slots_[i].idx = static_cast<std::uint32_t>(idx);
             slots_[i].waiters = 0;
         }
         ++slots_[i].outstanding;
@@ -73,6 +77,10 @@ class PendingPrTable
     {
         Slot *s = find(idx);
         ns_assert(s, "no pending entry for idx ", idx);
+        // Waiters accumulate only while one PR is in flight; even a
+        // degenerate single-idx stream coalesces a few thousand idxs
+        // per RTT, far under the 16-bit ceiling.
+        ns_assert(s->waiters < 0xFFFF, "waiter counter saturated");
         ++s->waiters;
     }
 
@@ -115,16 +123,21 @@ class PendingPrTable
     std::uint64_t maxOccupancy() const { return maxOccupancy_; }
 
   private:
-    /** An occupied CAM slot; outstanding == 0 marks it free. */
+    /**
+     * An occupied CAM slot; outstanding == 0 marks it free. Packed to 8
+     * bytes (8 slots per cache line): idxs are matrix columns, which
+     * fit 32 bits, and outstanding is bounded by the table capacity.
+     */
     struct Slot
     {
-        PropIdx idx = 0;
-        std::uint32_t outstanding = 0;
-        std::uint32_t waiters = 0;
+        std::uint32_t idx = 0;
+        std::uint16_t outstanding = 0;
+        std::uint16_t waiters = 0;
     };
+    static_assert(sizeof(Slot) == 8, "pending slot must stay packed");
 
     std::size_t
-    slotOf(PropIdx idx) const
+    slotOf(std::uint64_t idx) const
     {
         // Fibonacci hashing spreads the dense, strided idx patterns of
         // real gathers across the table.

@@ -106,18 +106,24 @@ RigClientUnit::processChunk()
         Pending,
         Tx,
     } stall = Stall::None;
+    // Hoist the loop invariants: the context accessors are virtual and
+    // this loop runs once per nonzero of the kernel.
+    const NodeId self = ctx_.selfNode();
+    const Partition1D *part = ctx_.ownerPartition();
+    IdxFilter &filter = ctx_.idxFilter();
     while (consumed < cfg_.chunkPerEvent && nextIdx_ < cmd_.count) {
         PropIdx idx = cmd_.idxs[nextIdx_];
         ++consumed; // one pipeline slot per examined idx
 
-        NodeId dest = ctx_.ownerOf(idx);
-        if (dest == ctx_.selfNode()) {
+        NodeId dest = part ? part->ownerOf(static_cast<std::uint32_t>(idx))
+                           : ctx_.ownerOf(idx);
+        if (dest == self) {
             ++stats_.localIdxs;
             ++stats_.idxsProcessed;
             ++nextIdx_;
             continue;
         }
-        if (cfg_.filterEnabled && ctx_.idxFilter().test(idx)) {
+        if (cfg_.filterEnabled && filter.test(idx)) {
             ++stats_.filtered;
             ++stats_.idxsProcessed;
             ++nextIdx_;
@@ -388,8 +394,8 @@ RigServerUnit::RigServerUnit(EventQueue &eq, const RigUnitConfig &cfg,
     : eq_(eq), cfg_(cfg), ctx_(ctx), tid_(tid), clock_(cfg.clockHz)
 {}
 
-void
-RigServerUnit::handleRead(PropertyRequest &&pr)
+Tick
+RigServerUnit::prepareRead(PropertyRequest &pr)
 {
     ns_assert(pr.type == PrType::Read, "server unit got a non-read PR");
     ++stats_.readsServed;
@@ -406,7 +412,13 @@ RigServerUnit::handleRead(PropertyRequest &&pr)
     pr.payloadBytes = pr.propBytes;
     pr.checksum = propertyChecksum(pr.idx);
     pr.fetchTick = fetched;
+    return fetched;
+}
 
+void
+RigServerUnit::handleRead(PropertyRequest &&pr)
+{
+    Tick fetched = prepareRead(pr);
     eq_.schedule(fetched, [this, resp = std::move(pr)]() mutable {
         NodeId back = resp.src;
         ctx_.sendPr(std::move(resp), back);

@@ -33,6 +33,7 @@
 #include "snic/idx_filter.hh"
 #include "snic/pcie.hh"
 #include "snic/pending_table.hh"
+#include "sparse/partition.hh"
 
 namespace netsparse {
 
@@ -112,6 +113,13 @@ class SnicContext
     virtual NodeId selfNode() const = 0;
     /** The home node of a property (the Destination Solver's answer). */
     virtual NodeId ownerOf(PropIdx idx) const = 0;
+    /**
+     * The partition behind ownerOf, when there is one, or null. The
+     * per-idx client loop uses it to resolve owners inline (the
+     * equal-rows stride divide) instead of paying a virtual call plus
+     * a std::function dispatch per nonzero. Must agree with ownerOf.
+     */
+    virtual const Partition1D *ownerPartition() const { return nullptr; }
     /** Hand a PR to the NIC transmit path. */
     virtual void sendPr(PropertyRequest &&pr, NodeId dest) = 0;
     /** True while the transmit buffer is too full to accept PRs. */
@@ -262,6 +270,16 @@ class RigServerUnit
 
     /** Serve one incoming read PR. */
     void handleRead(PropertyRequest &&pr);
+
+    /**
+     * Serve one read without scheduling the response event: performs
+     * the full pipeline and PCIe/memory accounting, rewrites @p pr
+     * into its response in place, and returns the fetch-complete tick.
+     * The caller owns sending the response at (or after) that tick -
+     * the SNIC's batched receive path (snic.cc) uses this to collapse
+     * a packet's worth of reads into a single response-send event.
+     */
+    Tick prepareRead(PropertyRequest &pr);
 
     const RigServerStats &stats() const { return stats_; }
 

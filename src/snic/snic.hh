@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,18 @@ struct SnicConfig
     PcieConfig pcie;
     /** Tx buffer; the RIG clients stall when it fills (backpressure). */
     std::uint64_t txBufferBytes = 2ull << 20;
+    /**
+     * Send all response PRs of one received packet's reads with a
+     * single event at the last fetch completion (docs/scaling.md),
+     * instead of one event per read. The per-PR pipeline, PCIe and
+     * memory accounting are unchanged; responses of a packet leave
+     * together at the latest of their fetch ticks - a skew bounded by
+     * the packet's own PCIe serialization - and in packet order, so
+     * the result stays deterministic and shard-invariant. Off by
+     * default: the timing-exact model sends each response at its own
+     * fetch tick.
+     */
+    bool batchedServerReads = false;
 };
 
 /**
@@ -84,6 +97,21 @@ class Snic : public PacketSink, public SnicContext
 
     NodeId selfNode() const override { return self_; }
     NodeId ownerOf(PropIdx idx) const override { return ownerOf_(idx); }
+    const Partition1D *
+    ownerPartition() const override
+    {
+        return ownerPart_ ? &*ownerPart_ : nullptr;
+    }
+
+    /**
+     * Declare that ownerOf is backed by @p part (stored by value), so
+     * the RIG clients can resolve owners inline. The caller guarantees
+     * the two agree; the cluster builder passes the matrix partition.
+     */
+    void setOwnerPartition(Partition1D part)
+    {
+        ownerPart_.emplace(std::move(part));
+    }
     void sendPr(PropertyRequest &&pr, NodeId dest) override;
     bool txBackpressured() const override;
     IdxFilter &idxFilter() override { return filter_; }
@@ -139,6 +167,7 @@ class Snic : public PacketSink, public SnicContext
     SnicConfig cfg_;
     NodeId self_;
     std::function<NodeId(PropIdx)> ownerOf_;
+    std::optional<Partition1D> ownerPart_;
     std::string name_;
 
     IdxFilter filter_;

@@ -32,149 +32,240 @@ signedGeometric(Rng &rng, double range)
     return rng.uniform() < 0.5 ? -mag : mag;
 }
 
+/**
+ * Independent RNG stream for one row: seed and row are mixed through
+ * splitmix64 twice (once here, once in the Rng constructor), so streams
+ * for adjacent rows share no structure.
+ */
+Rng
+rowRng(std::uint64_t seed, std::uint32_t r)
+{
+    return Rng(splitmix64(seed) + r);
+}
+
+void
+emitWebCrawlRow(const WebCrawlParams &p,
+                const std::vector<std::uint32_t> &region_base,
+                std::uint32_t r, std::vector<std::uint32_t> &out)
+{
+    Rng rng = rowRng(p.seed, r);
+    auto num_regions = static_cast<std::uint32_t>(region_base.size());
+    // Skewed out-degree: mostly small pages, a tail of link farms.
+    double mean = rng.uniform() < 0.92 ? p.avgDeg * 0.72 : p.avgDeg * 4.2;
+    auto deg = static_cast<std::uint32_t>(rng.geometric(mean));
+    bool have_region = false;
+    std::uint32_t region = 0;
+    for (std::uint32_t k = 0; k < deg; ++k) {
+        std::uint32_t c;
+        if (rng.uniform() < p.pLocal) {
+            c = clampedOffset(r, signedGeometric(rng, p.localRange),
+                              p.rows);
+        } else {
+            // Foreign link: usually keeps pointing at the page's
+            // current foreign host; sometimes hops to a new one.
+            if (!have_region || rng.uniform() < p.pNewRegion) {
+                region = static_cast<std::uint32_t>(
+                    rng.zipf(num_regions, p.regionAlpha));
+                have_region = true;
+            }
+            c = region_base[region] +
+                static_cast<std::uint32_t>(
+                    rng.uniformInt(0, p.regionWidth - 1));
+        }
+        out.push_back(c);
+    }
+}
+
+void
+emitRoadNetworkRow(const RoadNetworkParams &p, std::uint32_t r,
+                   std::vector<std::uint32_t> &out)
+{
+    Rng rng = rowRng(p.seed, r);
+    std::uint32_t width = p.gridWidth;
+    if (r > 0 && rng.uniform() < p.pChain)
+        out.push_back(r - 1);
+    if (r + 1 < p.rows && rng.uniform() < p.pChain)
+        out.push_back(r + 1);
+    if (rng.uniform() < p.pCross) {
+        std::int64_t off = rng.uniform() < 0.5 ? -std::int64_t(width)
+                                               : std::int64_t(width);
+        // Wiggle so cross edges are not all identical in stride.
+        off += static_cast<std::int64_t>(rng.uniformInt(0, 4)) - 2;
+        out.push_back(clampedOffset(r, off, p.rows));
+    }
+    if (rng.uniform() < p.pLong) {
+        out.push_back(static_cast<std::uint32_t>(
+            rng.uniformInt(0, p.rows - 1)));
+    }
+}
+
+void
+emitBandedFemRow(const BandedFemParams &p, std::uint32_t r,
+                 std::vector<std::uint32_t> &out)
+{
+    Rng rng = rowRng(p.seed, r);
+    std::int64_t band = p.band;
+    // FEM stencils touch a dense cluster of neighbors inside the band.
+    out.push_back(r); // diagonal
+    for (std::uint32_t k = 1; k < p.deg; ++k) {
+        auto off =
+            static_cast<std::int64_t>(rng.uniformInt(0, 2 * band)) - band;
+        if (off == 0)
+            off = 1;
+        out.push_back(clampedOffset(r, off, p.rows));
+    }
+}
+
+void
+emitStokesLikeRow(const StokesLikeParams &p, std::uint32_t r,
+                  std::vector<std::uint32_t> &out)
+{
+    Rng rng = rowRng(p.seed, r);
+    std::int64_t band = p.band;
+    std::uint32_t half = p.rows / 2;
+    out.push_back(r);
+    for (std::uint32_t k = 1; k < p.deg; ++k) {
+        if (rng.uniform() < p.pCoupled) {
+            // Velocity-pressure style coupling: a far block at a fixed
+            // stride, with a small jitter window.
+            std::uint32_t target = (r + half) % p.rows;
+            auto jit = static_cast<std::int64_t>(rng.uniformInt(
+                           0, 2 * p.couplingJitter)) -
+                       static_cast<std::int64_t>(p.couplingJitter);
+            out.push_back(clampedOffset(target, jit, p.rows));
+        } else {
+            auto off = static_cast<std::int64_t>(
+                           rng.uniformInt(0, 2 * band)) -
+                       band;
+            if (off == 0)
+                off = 1;
+            out.push_back(clampedOffset(r, off, p.rows));
+        }
+    }
+}
+
 } // namespace
+
+RowEmitter::RowEmitter(const GeneratorParams &gp) : p_(gp)
+{
+    std::visit(
+        [this](auto &p) {
+            using T = std::decay_t<decltype(p)>;
+            rows_ = p.rows;
+            if constexpr (std::is_same_v<T, WebCrawlParams>) {
+                ns_assert(p.rows > 1, "web crawl needs at least 2 rows");
+                // Foreign host regions: zipf-popular link-target
+                // neighborhoods, scattered across the index space by a
+                // hash so popularity is not correlated with the
+                // partition that owns the pages.
+                if (p.numRegions == 0)
+                    p.numRegions =
+                        std::max<std::uint32_t>(16, p.rows / 1024);
+                regionBase_.resize(p.numRegions);
+                for (std::uint32_t h = 0; h < p.numRegions; ++h)
+                    regionBase_[h] = static_cast<std::uint32_t>(
+                        splitmix64(p.seed ^ (0x9000ull + h)) %
+                        (p.rows - p.regionWidth));
+            } else if constexpr (std::is_same_v<T, RoadNetworkParams>) {
+                ns_assert(p.rows > 1,
+                          "road network needs at least 2 rows");
+                if (p.gridWidth == 0)
+                    p.gridWidth = static_cast<std::uint32_t>(
+                        std::sqrt(double(p.rows)));
+            } else if constexpr (std::is_same_v<T, BandedFemParams>) {
+                ns_assert(p.rows > 2 * p.band,
+                          "band wider than the matrix");
+            } else {
+                ns_assert(p.rows > 4 * p.band,
+                          "band wider than the matrix");
+            }
+        },
+        p_);
+}
+
+void
+RowEmitter::emitRow(std::uint32_t r, std::vector<std::uint32_t> &out) const
+{
+    ns_assert(r < rows_, "row ", r, " out of range");
+    std::visit(
+        [&](const auto &p) {
+            using T = std::decay_t<decltype(p)>;
+            if constexpr (std::is_same_v<T, WebCrawlParams>)
+                emitWebCrawlRow(p, regionBase_, r, out);
+            else if constexpr (std::is_same_v<T, RoadNetworkParams>)
+                emitRoadNetworkRow(p, r, out);
+            else if constexpr (std::is_same_v<T, BandedFemParams>)
+                emitBandedFemRow(p, r, out);
+            else
+                emitStokesLikeRow(p, r, out);
+        },
+        p_);
+}
+
+double
+RowEmitter::expectedDegree() const
+{
+    return std::visit(
+        [](const auto &p) -> double {
+            using T = std::decay_t<decltype(p)>;
+            if constexpr (std::is_same_v<T, WebCrawlParams>)
+                return p.avgDeg;
+            else if constexpr (std::is_same_v<T, RoadNetworkParams>)
+                return 2.0 * p.pChain + p.pCross + p.pLong;
+            else
+                return static_cast<double>(p.deg);
+        },
+        p_);
+}
+
+std::uint32_t
+generatorRows(const GeneratorParams &p)
+{
+    return std::visit([](const auto &g) { return g.rows; }, p);
+}
+
+Coo
+makeMatrix(const GeneratorParams &gp)
+{
+    RowEmitter gen(gp);
+    Coo m;
+    m.rows = m.cols = gen.rows();
+    auto expect = static_cast<std::size_t>(
+        gen.rows() * std::max(1.0, gen.expectedDegree()));
+    m.rowIdx.reserve(expect);
+    m.colIdx.reserve(expect);
+    std::vector<std::uint32_t> cols;
+    for (std::uint32_t r = 0; r < gen.rows(); ++r) {
+        cols.clear();
+        gen.emitRow(r, cols);
+        for (auto c : cols)
+            m.push(r, c);
+    }
+    return m;
+}
 
 Coo
 makeWebCrawl(const WebCrawlParams &p)
 {
-    ns_assert(p.rows > 1, "web crawl needs at least 2 rows");
-    Rng rng(p.seed);
-    Coo m;
-    m.rows = m.cols = p.rows;
-    m.rowIdx.reserve(static_cast<std::size_t>(p.rows * p.avgDeg));
-    m.colIdx.reserve(static_cast<std::size_t>(p.rows * p.avgDeg));
-
-    // Foreign host regions: zipf-popular link-target neighborhoods,
-    // scattered across the index space by a hash so popularity is not
-    // correlated with the partition that owns the pages.
-    std::uint32_t num_regions =
-        p.numRegions ? p.numRegions
-                     : std::max<std::uint32_t>(16, p.rows / 1024);
-    std::vector<std::uint32_t> region_base(num_regions);
-    for (std::uint32_t h = 0; h < num_regions; ++h)
-        region_base[h] = static_cast<std::uint32_t>(
-            splitmix64(p.seed ^ (0x9000ull + h)) %
-            (p.rows - p.regionWidth));
-
-    for (std::uint32_t r = 0; r < p.rows; ++r) {
-        // Skewed out-degree: mostly small pages, a tail of link farms.
-        double mean = rng.uniform() < 0.92 ? p.avgDeg * 0.72
-                                           : p.avgDeg * 4.2;
-        auto deg = static_cast<std::uint32_t>(rng.geometric(mean));
-        bool have_region = false;
-        std::uint32_t region = 0;
-        for (std::uint32_t k = 0; k < deg; ++k) {
-            std::uint32_t c;
-            if (rng.uniform() < p.pLocal) {
-                c = clampedOffset(r, signedGeometric(rng, p.localRange),
-                                  p.rows);
-            } else {
-                // Foreign link: usually keeps pointing at the page's
-                // current foreign host; sometimes hops to a new one.
-                if (!have_region || rng.uniform() < p.pNewRegion) {
-                    region = static_cast<std::uint32_t>(
-                        rng.zipf(num_regions, p.regionAlpha));
-                    have_region = true;
-                }
-                c = region_base[region] +
-                    static_cast<std::uint32_t>(
-                        rng.uniformInt(0, p.regionWidth - 1));
-            }
-            m.push(r, c);
-        }
-    }
-    return m;
+    return makeMatrix(p);
 }
 
 Coo
 makeRoadNetwork(const RoadNetworkParams &p)
 {
-    ns_assert(p.rows > 1, "road network needs at least 2 rows");
-    Rng rng(p.seed);
-    Coo m;
-    m.rows = m.cols = p.rows;
-    std::uint32_t width = p.gridWidth
-        ? p.gridWidth
-        : static_cast<std::uint32_t>(std::sqrt(double(p.rows)));
-
-    for (std::uint32_t r = 0; r < p.rows; ++r) {
-        if (r > 0 && rng.uniform() < p.pChain)
-            m.push(r, r - 1);
-        if (r + 1 < p.rows && rng.uniform() < p.pChain)
-            m.push(r, r + 1);
-        if (rng.uniform() < p.pCross) {
-            std::int64_t off = rng.uniform() < 0.5 ? -std::int64_t(width)
-                                                   : std::int64_t(width);
-            // Wiggle so cross edges are not all identical in stride.
-            off += static_cast<std::int64_t>(rng.uniformInt(0, 4)) - 2;
-            m.push(r, clampedOffset(r, off, p.rows));
-        }
-        if (rng.uniform() < p.pLong) {
-            m.push(r, static_cast<std::uint32_t>(
-                          rng.uniformInt(0, p.rows - 1)));
-        }
-    }
-    return m;
+    return makeMatrix(p);
 }
 
 Coo
 makeBandedFem(const BandedFemParams &p)
 {
-    ns_assert(p.rows > 2 * p.band, "band wider than the matrix");
-    Rng rng(p.seed);
-    Coo m;
-    m.rows = m.cols = p.rows;
-    m.rowIdx.reserve(static_cast<std::size_t>(p.rows) * p.deg);
-    m.colIdx.reserve(static_cast<std::size_t>(p.rows) * p.deg);
-
-    std::int64_t band = p.band;
-    for (std::uint32_t r = 0; r < p.rows; ++r) {
-        // FEM stencils touch a dense cluster of neighbors inside the band.
-        m.push(r, r); // diagonal
-        for (std::uint32_t k = 1; k < p.deg; ++k) {
-            auto off = static_cast<std::int64_t>(
-                           rng.uniformInt(0, 2 * band)) - band;
-            if (off == 0)
-                off = 1;
-            m.push(r, clampedOffset(r, off, p.rows));
-        }
-    }
-    return m;
+    return makeMatrix(p);
 }
 
 Coo
 makeStokesLike(const StokesLikeParams &p)
 {
-    ns_assert(p.rows > 4 * p.band, "band wider than the matrix");
-    Rng rng(p.seed);
-    Coo m;
-    m.rows = m.cols = p.rows;
-    m.rowIdx.reserve(static_cast<std::size_t>(p.rows) * p.deg);
-    m.colIdx.reserve(static_cast<std::size_t>(p.rows) * p.deg);
-
-    std::int64_t band = p.band;
-    std::uint32_t half = p.rows / 2;
-    for (std::uint32_t r = 0; r < p.rows; ++r) {
-        m.push(r, r);
-        for (std::uint32_t k = 1; k < p.deg; ++k) {
-            if (rng.uniform() < p.pCoupled) {
-                // Velocity-pressure style coupling: a far block at a fixed
-                // stride, with a small jitter window.
-                std::uint32_t target = (r + half) % p.rows;
-                auto jit = static_cast<std::int64_t>(rng.uniformInt(
-                               0, 2 * p.couplingJitter)) -
-                           static_cast<std::int64_t>(p.couplingJitter);
-                m.push(r, clampedOffset(target, jit, p.rows));
-            } else {
-                auto off = static_cast<std::int64_t>(
-                               rng.uniformInt(0, 2 * band)) - band;
-                if (off == 0)
-                    off = 1;
-                m.push(r, clampedOffset(r, off, p.rows));
-            }
-        }
-    }
-    return m;
+    return makeMatrix(p);
 }
 
 const char *
@@ -197,8 +288,8 @@ allMatrixKinds()
             MatrixKind::Stokes, MatrixKind::Uk};
 }
 
-Csr
-makeBenchmarkMatrix(MatrixKind kind, double scale)
+GeneratorParams
+benchmarkParams(MatrixKind kind, double scale)
 {
     ns_assert(scale > 0.0, "scale must be positive");
     auto scaled = [&](std::uint32_t base) {
@@ -206,7 +297,6 @@ makeBenchmarkMatrix(MatrixKind kind, double scale)
         return std::max<std::uint32_t>(r, 1024);
     };
 
-    Coo coo;
     switch (kind) {
       case MatrixKind::Arabic: {
         WebCrawlParams p;
@@ -218,15 +308,13 @@ makeBenchmarkMatrix(MatrixKind kind, double scale)
         p.regionWidth = 16;
         p.regionAlpha = 1.3;
         p.pNewRegion = 0.05;
-        coo = makeWebCrawl(p);
-        break;
+        return p;
       }
       case MatrixKind::Europe: {
         RoadNetworkParams p;
         p.rows = scaled(1 << 18); // 256k rows, ~550k nnz at scale 1
         p.pLong = 0.012;
-        coo = makeRoadNetwork(p);
-        break;
+        return p;
       }
       case MatrixKind::Queen: {
         BandedFemParams p;
@@ -235,16 +323,14 @@ makeBenchmarkMatrix(MatrixKind kind, double scale)
         // the problem; keep it about half a 128-node partition's rows.
         p.band = std::max<std::uint32_t>(64, p.rows / 256);
         p.deg = 79;
-        coo = makeBandedFem(p);
-        break;
+        return p;
       }
       case MatrixKind::Stokes: {
         StokesLikeParams p;
         p.rows = scaled(3 << 15); // 96k rows, ~3M nnz at scale 1
         // The coupling window scales with the problem cross-section.
         p.couplingJitter = std::max<std::uint32_t>(256, p.rows / 96);
-        coo = makeStokesLike(p);
-        break;
+        return p;
       }
       case MatrixKind::Uk: {
         WebCrawlParams p;
@@ -257,10 +343,16 @@ makeBenchmarkMatrix(MatrixKind kind, double scale)
         p.regionAlpha = 1.08;
         p.pNewRegion = 0.20;
         p.seed = 0x00172002;
-        coo = makeWebCrawl(p);
-        break;
+        return p;
       }
     }
+    ns_panic("unknown matrix kind");
+}
+
+Csr
+makeBenchmarkMatrix(MatrixKind kind, double scale)
+{
+    Coo coo = makeMatrix(benchmarkParams(kind, scale));
     coo.validate();
     return Csr::fromCoo(coo);
 }

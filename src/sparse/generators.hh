@@ -19,7 +19,12 @@
  *                   block, so every node talks to one far partner; no
  *                   rack-level sharing (cache hit rate 6%).
  *
- * All generators are deterministic for a given seed.
+ * All generators are deterministic for a given seed, and every row draws
+ * from its own splitmix64-derived RNG stream: row r of a matrix is a pure
+ * function of (params, r). That independence is what lets the streaming
+ * builder (sparse/stream_gen.hh) emit per-node CSR partitions chunk by
+ * chunk without ever materializing the global matrix, while staying
+ * byte-equivalent to the materializing path here.
  */
 
 #ifndef NETSPARSE_SPARSE_GENERATORS_HH
@@ -27,6 +32,7 @@
 
 #include <cstdint>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "sparse/csr.hh"
@@ -116,6 +122,45 @@ struct StokesLikeParams
 /** Band + far-coupling solver matrix (stokes style). */
 Coo makeStokesLike(const StokesLikeParams &p);
 
+/** Any generator's parameter set, for kind-generic code. */
+using GeneratorParams = std::variant<WebCrawlParams, RoadNetworkParams,
+                                     BandedFemParams, StokesLikeParams>;
+
+/** Row count described by a parameter set. */
+std::uint32_t generatorRows(const GeneratorParams &p);
+
+/** Materialize the matrix a parameter set describes. */
+Coo makeMatrix(const GeneratorParams &p);
+
+/**
+ * Single-row emitter over any generator.
+ *
+ * emitRow(r) appends exactly the column indices makeMatrix() would push
+ * for row r, in the same order, independent of every other row: each row
+ * draws from its own RNG stream seeded by splitmix64(seed, r). The
+ * materializing makeX() entry points are themselves built on this class,
+ * so the equivalence is by construction, not by parallel maintenance.
+ */
+class RowEmitter
+{
+  public:
+    explicit RowEmitter(const GeneratorParams &p);
+
+    /** Total rows of the described matrix. */
+    std::uint32_t rows() const { return rows_; }
+
+    /** Append row @p r's column indices in emission order. */
+    void emitRow(std::uint32_t r, std::vector<std::uint32_t> &out) const;
+
+    /** Mean nonzeros per row the parameters target (for reserve()). */
+    double expectedDegree() const;
+
+  private:
+    GeneratorParams p_; // defaults (numRegions, gridWidth) resolved
+    std::uint32_t rows_ = 0;
+    std::vector<std::uint32_t> regionBase_; // web crawl only
+};
+
 /** The five benchmark matrices of the paper's evaluation. */
 enum class MatrixKind
 {
@@ -133,12 +178,20 @@ const char *matrixName(MatrixKind kind);
 std::vector<MatrixKind> allMatrixKinds();
 
 /**
+ * Resolved generator parameters for a paper benchmark analogue at a
+ * given linear row-count scale. makeBenchmarkMatrix() materializes
+ * these; buildPartitionedMatrix() (sparse/stream_gen.hh) streams them.
+ */
+GeneratorParams benchmarkParams(MatrixKind kind, double scale = 1.0);
+
+/**
  * Build the structural analogue of a paper benchmark matrix.
  *
  * @param kind which matrix to synthesize.
  * @param scale linear scale on the row count (1.0 gives the default
  *        sizes, which are roughly 100-200x smaller than the SuiteSparse
- *        originals but preserve per-node structure at 128 nodes).
+ *        originals but preserve per-node structure at 128 nodes; see
+ *        paperScale() in sparse/stream_gen.hh for full-size runs).
  */
 Csr makeBenchmarkMatrix(MatrixKind kind, double scale = 1.0);
 

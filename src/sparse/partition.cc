@@ -20,6 +20,7 @@ Partition1D::Partition1D(std::vector<std::uint32_t> b)
             uniform = false;
     }
     stride_ = uniform ? stride : 0;
+    total_ = boundaries_.back();
 }
 
 Partition1D
@@ -59,11 +60,9 @@ Partition1D::equalNnz(const Csr &m, std::uint32_t parts)
 }
 
 NodeId
-Partition1D::ownerOf(std::uint32_t idx) const
+Partition1D::ownerOfSearch(std::uint32_t idx) const
 {
     ns_assert(idx < boundaries_.back(), "index ", idx, " out of partition");
-    if (stride_ > 0)
-        return idx / stride_;
     auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), idx);
     return static_cast<NodeId>(it - boundaries_.begin()) - 1;
 }

@@ -56,8 +56,18 @@ class Partition1D
         return end(part) - begin(part);
     }
 
-    /** The node that owns global index @p idx. */
-    NodeId ownerOf(std::uint32_t idx) const;
+    /**
+     * The node that owns global index @p idx. Inline: this is the
+     * Destination Solver's lookup, called once per processed idx on
+     * the RIG client fast path.
+     */
+    NodeId
+    ownerOf(std::uint32_t idx) const
+    {
+        if (stride_ > 0 && idx < total_)
+            return idx / stride_;
+        return ownerOfSearch(idx);
+    }
 
     /** Offset of @p idx within its owner's range. */
     std::uint32_t
@@ -77,9 +87,15 @@ class Partition1D
   private:
     explicit Partition1D(std::vector<std::uint32_t> b);
 
+    /** Binary-search slow path of ownerOf (non-uniform partitions). */
+    NodeId ownerOfSearch(std::uint32_t idx) const;
+
     std::vector<std::uint32_t> boundaries_;
     // Fast path for equal-rows partitions: owner = idx / stride_.
+    // An out-of-range idx fails the total_ guard and falls through to
+    // ownerOfSearch, which carries the range assertion.
     std::uint32_t stride_ = 0;
+    std::uint32_t total_ = 0;
 };
 
 } // namespace netsparse

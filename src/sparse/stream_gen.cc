@@ -1,0 +1,101 @@
+#include "sparse/stream_gen.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace netsparse {
+
+std::vector<std::vector<std::uint32_t>>
+PartitionedMatrix::takeStreams()
+{
+    std::vector<std::vector<std::uint32_t>> streams;
+    streams.reserve(nodes.size());
+    for (auto &n : nodes) {
+        streams.push_back(std::move(n.colIdx));
+        n.rowPtr = {0};
+        n.colIdx.clear();
+    }
+    nodes.clear();
+    return streams;
+}
+
+PartitionedMatrix
+buildPartitionedMatrix(const GeneratorParams &params,
+                       std::uint32_t numNodes, std::uint32_t chunkRows)
+{
+    ns_assert(numNodes > 0, "need at least one node");
+    ns_assert(chunkRows > 0, "chunk must hold at least one row");
+    RowEmitter gen(params);
+    const std::uint32_t rows = gen.rows();
+    ns_assert(rows >= numNodes, "fewer rows than nodes");
+
+    PartitionedMatrix pm;
+    pm.rows = pm.cols = rows;
+    pm.part = Partition1D::equalRows(rows, numNodes);
+    pm.nodes.resize(numNodes);
+    for (NodeId n = 0; n < numNodes; ++n) {
+        pm.nodes[n].firstRow = pm.part.begin(n);
+        pm.nodes[n].rowPtr.reserve(pm.part.size(n) + 1);
+        // Row degrees concentrate near the mean; reserving for it
+        // avoids most mid-build reallocation without overcommitting.
+        pm.nodes[n].colIdx.reserve(static_cast<std::size_t>(
+            pm.part.size(n) * std::max(1.0, gen.expectedDegree())));
+    }
+
+    // One bounded scratch buffer: rows of the current chunk, back to
+    // back, with per-row end offsets. Chunking only bounds transient
+    // memory - rows are appended to their owners in global row order
+    // regardless, so any chunkRows yields identical partitions.
+    std::vector<std::uint32_t> chunk_cols;
+    std::vector<std::size_t> row_ends;
+    for (std::uint32_t base = 0; base < rows; base += chunkRows) {
+        std::uint32_t count =
+            std::min<std::uint32_t>(chunkRows, rows - base);
+        chunk_cols.clear();
+        row_ends.clear();
+        for (std::uint32_t i = 0; i < count; ++i) {
+            gen.emitRow(base + i, chunk_cols);
+            row_ends.push_back(chunk_cols.size());
+        }
+        std::size_t row_begin = 0;
+        for (std::uint32_t i = 0; i < count; ++i) {
+            NodeCsr &dst = pm.nodes[pm.part.ownerOf(base + i)];
+            dst.colIdx.insert(dst.colIdx.end(),
+                              chunk_cols.begin() + row_begin,
+                              chunk_cols.begin() + row_ends[i]);
+            dst.rowPtr.push_back(dst.colIdx.size());
+            row_begin = row_ends[i];
+        }
+        pm.nnz += chunk_cols.size();
+    }
+    for (NodeId n = 0; n < numNodes; ++n)
+        ns_assert(pm.nodes[n].numRows() == pm.part.size(n),
+                  "node ", n, " row count mismatch");
+    return pm;
+}
+
+PartitionedMatrix
+buildPartitionedBenchmark(MatrixKind kind, double scale,
+                          std::uint32_t numNodes, std::uint32_t chunkRows)
+{
+    return buildPartitionedMatrix(benchmarkParams(kind, scale), numNodes,
+                                  chunkRows);
+}
+
+double
+paperScale(MatrixKind kind)
+{
+    // Paper Table 1 nnz over the analogue's nnz at scale 1 (the
+    // comments in benchmarkParams()).
+    switch (kind) {
+      case MatrixKind::Arabic: return 640e6 / 3.67e6;
+      case MatrixKind::Europe: return 108e6 / 0.55e6;
+      case MatrixKind::Queen: return 330e6 / 5.18e6;
+      case MatrixKind::Stokes: return 349e6 / 3.05e6;
+      case MatrixKind::Uk: return 298e6 / 2.10e6;
+    }
+    ns_panic("unknown matrix kind");
+}
+
+} // namespace netsparse
