@@ -1,0 +1,171 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the per-PR hop path - the work
+ * every remote idx pays between leaving a RIG client and reaching the
+ * wire, measured component by component so a regression in any stage of
+ * the hop shows up at micro scale before it moves bench_perf:
+ *
+ *  - destination resolve: Partition1D::ownerOf on uniform (fast-path
+ *    divide) and non-uniform (binary search) partitions;
+ *  - concat push: Concatenator::push through CQ fill/expiry flushes,
+ *    including the arena-backed PR buffer recycling
+ *    (acquirePrBuffer/recyclePrBuffer, sim/arena.hh);
+ *  - pending-table bookkeeping: PendingPrTable insert/complete and the
+ *    coalescing addWaiter path at a configurable occupancy.
+ *
+ * Run: build/bench/bench_pr_hop [--benchmark_filter=...]
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "concat/concatenator.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+#include "snic/pending_table.hh"
+#include "sparse/csr.hh"
+#include "sparse/partition.hh"
+
+using namespace netsparse;
+
+namespace {
+
+/** ownerOf over a uniform partition: the divide fast path. */
+void
+BM_DestinationResolveUniform(benchmark::State &state)
+{
+    const std::uint32_t idxs = 1u << 20;
+    const std::uint32_t nodes = static_cast<std::uint32_t>(state.range(0));
+    Partition1D part = Partition1D::equalRows(idxs, nodes);
+    std::uint64_t i = 0, sum = 0;
+    for (auto _ : state) {
+        std::uint32_t idx =
+            static_cast<std::uint32_t>(splitmix64(i++) % idxs);
+        sum += part.ownerOf(idx);
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DestinationResolveUniform)->Arg(128)->Arg(1024);
+
+/** ownerOf over a skewed partition: the binary-search slow path. */
+void
+BM_DestinationResolveSkewed(benchmark::State &state)
+{
+    const std::uint32_t idxs = 1u << 14;
+    const std::uint32_t nodes = static_cast<std::uint32_t>(state.range(0));
+    // equalNnz over a matrix with skewed row weights produces the
+    // non-uniform boundaries that defeat the divide fast path.
+    Csr m;
+    m.rows = m.cols = idxs;
+    m.rowPtr.resize(idxs + 1);
+    for (std::uint32_t r = 0; r < idxs; ++r) {
+        std::uint64_t w = 1 + (splitmix64(r) & 0x1F) +
+                          (r < idxs / 8 ? 64 : 0);
+        m.rowPtr[r + 1] = m.rowPtr[r] + w;
+    }
+    m.colIdx.resize(m.rowPtr.back(), 0);
+    Partition1D part = Partition1D::equalNnz(m, nodes);
+    std::uint64_t i = 0, sum = 0;
+    for (auto _ : state) {
+        std::uint32_t idx =
+            static_cast<std::uint32_t>(splitmix64(i++) % idxs);
+        sum += part.ownerOf(idx);
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DestinationResolveSkewed)->Arg(128)->Arg(1024);
+
+/**
+ * Concatenator::push at a configurable destination fan-out: PRs round-
+ * robin over dests, CQs flush by fill or expiry, and every emitted
+ * packet's PR buffer goes back through the arena.
+ */
+void
+BM_ConcatPush(benchmark::State &state)
+{
+    const std::uint32_t dests = static_cast<std::uint32_t>(state.range(0));
+    EventQueue eq;
+    ConcatConfig cfg;
+    cfg.delay = 62500; // ToR delay: 125 cycles at 2 GHz
+    std::uint64_t packets = 0;
+    Concatenator concat(eq, cfg,
+                        [&packets](Packet &&pkt) {
+                            ++packets;
+                            recyclePrBuffer(std::move(pkt.prs));
+                        },
+                        "bench");
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        PropertyRequest pr;
+        pr.src = 0;
+        pr.idx = static_cast<PropIdx>(splitmix64(i) & 0xFFFFF);
+        pr.propBytes = 64;
+        concat.push(std::move(pr),
+                    static_cast<NodeId>(1 + (i % dests)));
+        ++i;
+        // Drain the expiry timers now and then so CQs do not just fill
+        // monotonically; runUntil advances simulated time past every
+        // armed deadline.
+        if ((i & 0xFFF) == 0)
+            eq.runUntil(eq.now() + 2 * cfg.delay);
+    }
+    benchmark::DoNotOptimize(packets);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConcatPush)->Arg(8)->Arg(127);
+
+/** insert/complete churn at a fixed occupancy: the no-coalesce path. */
+void
+BM_PendingTableChurn(benchmark::State &state)
+{
+    // 256 churning idxs toggling present/absent atop the prefill can
+    // occupy at most 256 + occupancy entries; 1024 never fills.
+    const std::uint32_t capacity = 1024;
+    const std::uint32_t occupancy =
+        static_cast<std::uint32_t>(state.range(0));
+    PendingPrTable table(capacity);
+    // Pre-fill to the target occupancy with distinct idxs.
+    for (std::uint32_t n = 0; n < occupancy; ++n)
+        table.insert(n);
+    std::uint64_t i = 0, served = 0;
+    for (auto _ : state) {
+        PropIdx idx = 0x10000 + (splitmix64(i++) & 0xFF);
+        if (table.contains(idx))
+            served += table.complete(idx);
+        else
+            table.insert(idx);
+    }
+    benchmark::DoNotOptimize(served);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PendingTableChurn)->Arg(16)->Arg(256);
+
+/** The coalescing path: one outstanding PR absorbing waiters. */
+void
+BM_PendingTableCoalesce(benchmark::State &state)
+{
+    PendingPrTable table(512);
+    table.insert(42);
+    std::uint64_t waiters = 0;
+    for (auto _ : state) {
+        table.addWaiter(42);
+        if (++waiters == 0xFFF0) {
+            // Retire before the 16-bit waiter counter saturates.
+            table.complete(42);
+            table.insert(42);
+            waiters = 0;
+        }
+    }
+    benchmark::DoNotOptimize(waiters);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PendingTableCoalesce);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -29,6 +29,14 @@
  *     --batched-events     coarser event batching (delivery trains +
  *                          batched server reads); the paper-scale
  *                          preset. Figure reproductions leave it off.
+ *     --fidelity M         network fidelity: exact (default), hybrid
+ *                          (analytical fast-forward of uncongested
+ *                          links, packet-exact under congestion), or
+ *                          flow (always analytical; validation only).
+ *                          See docs/performance.md.
+ *     --memory-stats       export per-shard arena accounting under
+ *                          cluster.memory.* in the stats registry
+ *                          (host diagnostic; off by default)
  *     --faults SPEC        fault injection, e.g.
  *                          drop:1e-4,corrupt:1e-5,down:1e-6,downUs:5,
  *                          degrade:1e-5,degradeUs:20,degradeFactor:0.25,
@@ -78,7 +86,9 @@ usage(const char *argv0)
                  "[--no-cache]\n"
                  "  [--cache-bytes B] [--partition rows|nnz] "
                  "[--shards N] [--stats]\n"
-                 "  [--stream] [--batched-events]\n"
+                 "  [--stream] [--batched-events] "
+                 "[--fidelity exact|hybrid|flow]\n"
+                 "  [--memory-stats]\n"
                  "  [--faults drop:R,corrupt:R,down:R,downUs:T,"
                  "degrade:R,degradeUs:T,\n"
                  "            degradeFactor:F,seed:S]\n"
@@ -106,6 +116,8 @@ main(int argc, char **argv)
     std::string partition = "rows";
     std::uint32_t shards = 0;
     bool stream = false, batched_events = false;
+    FidelityMode fidelity = FidelityMode::Exact;
+    bool memory_stats = false;
     bool dump_stats = false;
     std::string stats_json, trace_out, faults_spec, telemetry_out;
     double telemetry_interval_us = 10.0;
@@ -147,6 +159,14 @@ main(int argc, char **argv)
             stream = true;
         else if (a == "--batched-events")
             batched_events = true;
+        else if (a == "--fidelity") {
+            if (!parseFidelity(next(), fidelity))
+                usage(argv[0]);
+        } else if (a.rfind("--fidelity=", 0) == 0) {
+            if (!parseFidelity(a.substr(11), fidelity))
+                usage(argv[0]);
+        } else if (a == "--memory-stats")
+            memory_stats = true;
         else if (a == "--faults")
             faults_spec = next();
         else if (a.rfind("--faults=", 0) == 0)
@@ -246,6 +266,8 @@ main(int argc, char **argv)
         cfg.propertyCacheBytes = cache_bytes;
     cfg.simShards = shards;
     cfg.eventBatching = batched_events;
+    cfg.fidelity = fidelity;
+    cfg.memoryStats = memory_stats;
     if (!faults_spec.empty())
         cfg.faults = FaultConfig::parse(faults_spec);
     cfg.telemetryInterval = static_cast<Tick>(
@@ -316,6 +338,13 @@ main(int argc, char **argv)
                     "lookahead %.0f ns\n",
                     r.simShards, (unsigned long long)r.epochs,
                     ticks::toNs(r.lookaheadTicks));
+    }
+    if (r.fidelity != FidelityMode::Exact) {
+        std::printf("fidelity           : %10s  (%llu flow packets, "
+                    "%llu demotions)\n",
+                    fidelityName(r.fidelity),
+                    (unsigned long long)r.flowPackets,
+                    (unsigned long long)r.flowDemotions);
     }
     if (r.faultsEnabled) {
         auto sum = [&r](auto field) { return r.sumNodes(field); };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/arena.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -235,33 +236,16 @@ deconcatenate(Packet &&pkt)
     return std::move(pkt.prs);
 }
 
-namespace {
-
-/** Retired Packet::prs buffers awaiting reuse (bounded). */
-thread_local std::vector<std::vector<PropertyRequest>> prBufferPool;
-constexpr std::size_t prBufferPoolMax = 64;
-
-} // namespace
-
 std::vector<PropertyRequest>
 acquirePrBuffer(std::size_t reserve)
 {
-    std::vector<PropertyRequest> buf;
-    if (!prBufferPool.empty()) {
-        buf = std::move(prBufferPool.back());
-        prBufferPool.pop_back();
-    }
-    buf.reserve(reserve);
-    return buf;
+    return BufferArena<PropertyRequest>::local().acquire(reserve);
 }
 
 void
 recyclePrBuffer(std::vector<PropertyRequest> &&buf)
 {
-    if (prBufferPool.size() >= prBufferPoolMax)
-        return;
-    buf.clear();
-    prBufferPool.push_back(std::move(buf));
+    BufferArena<PropertyRequest>::local().recycle(std::move(buf));
 }
 
 } // namespace netsparse

@@ -174,15 +174,16 @@ class Concatenator
 std::vector<PropertyRequest> deconcatenate(Packet &&pkt);
 
 /**
- * Thread-local recycling of Packet::prs buffers. Every packet is born
- * at a concatenation point and dies at a deconcatenation point on the
- * same simulation thread, so returning the drained vector here lets the
- * next flush reuse its capacity instead of hitting the allocator once
- * per packet (a measurable fraction of simulator time).
+ * Per-shard recycling of Packet::prs buffers, backed by the calling
+ * thread's BufferArena<PropertyRequest> (sim/arena.hh). Every packet is
+ * born at a concatenation point and dies at a deconcatenation point on
+ * the same simulation thread, so returning the drained vector here lets
+ * the next flush reuse its capacity instead of hitting the allocator
+ * once per packet (a measurable fraction of simulator time).
  */
 std::vector<PropertyRequest> acquirePrBuffer(std::size_t reserve);
 
-/** Return a drained PR buffer to the thread-local pool. */
+/** Return a drained PR buffer to the calling shard's arena. */
 void recyclePrBuffer(std::vector<PropertyRequest> &&buf);
 
 } // namespace netsparse

@@ -1,0 +1,34 @@
+#include "net/fidelity.hh"
+
+namespace netsparse {
+
+const char *
+fidelityName(FidelityMode mode)
+{
+    switch (mode) {
+      case FidelityMode::Exact: return "exact";
+      case FidelityMode::Hybrid: return "hybrid";
+      case FidelityMode::Flow: return "flow";
+    }
+    return "?";
+}
+
+bool
+parseFidelity(const std::string &text, FidelityMode &out)
+{
+    if (text == "exact") {
+        out = FidelityMode::Exact;
+        return true;
+    }
+    if (text == "hybrid") {
+        out = FidelityMode::Hybrid;
+        return true;
+    }
+    if (text == "flow") {
+        out = FidelityMode::Flow;
+        return true;
+    }
+    return false;
+}
+
+} // namespace netsparse

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Hybrid flow/packet network fidelity (docs/performance.md).
+ *
+ * Every Link runs in one of two regimes:
+ *
+ *  - **flow level**: delivery ticks are computed in closed form from the
+ *    busy-until chain (serialization + latency) at send time, and the
+ *    hop's delivery event is *fused* with the sink's ingress work: one
+ *    event at arrival + ingress delay runs the switch pipe directly,
+ *    under the same traffic-derived delivery key the exact path would
+ *    have used. Logical event and byte accounting is preserved
+ *    (EventQueue::addExecutedEvents), so `sim.executedEvents` and every
+ *    statistic stay meaningful.
+ *  - **packet level**: the existing exact path - a delivery event per
+ *    packet at its arrival tick (optionally train-batched when event
+ *    batching is on).
+ *
+ * A per-link congestion detector decides the regime: a link is demoted
+ * to packet fidelity the moment its output queue is nonempty (a send
+ * finds the wire busy) or its utilization over a sliding window crosses
+ * the demotion threshold, and promoted back after a configurable quiet
+ * period with an idle wire. The detector reads the same busy-until /
+ * utilization state the TelemetryProbe link samplers use, evaluated at
+ * send time - a pure function of link-local state, so regime decisions
+ * are deterministic and identical at any shard count.
+ *
+ * Switch-internal contention points - output queues, Property Cache
+ * ports, concatenator delay queues - always stay exact: fusion elides
+ * only the hop's *scheduling overhead*, never the modeled timing, so
+ * the four NetSparse mechanisms are never approximated.
+ */
+
+#ifndef NETSPARSE_NET_FIDELITY_HH
+#define NETSPARSE_NET_FIDELITY_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace netsparse {
+
+/** Network fidelity of a cluster run (--fidelity=exact|hybrid|flow). */
+enum class FidelityMode
+{
+    /** Packet level everywhere: the reference timing model. */
+    Exact,
+    /** Flow level on uncongested links, packet level on congested. */
+    Hybrid,
+    /** Flow level everywhere (no demotion; validation tool). */
+    Flow,
+};
+
+/** Congestion detector knobs (FidelityMode::Hybrid). */
+struct FlowFidelityConfig
+{
+    /**
+     * Demote when wire utilization over a sliding window of
+     * utilizationWindow ticks reaches this fraction, even if no send
+     * ever observed a queue (a near-saturated but perfectly paced
+     * wire).
+     */
+    double demoteUtilization = 0.90;
+    Tick utilizationWindow = 5 * ticks::us;
+    /**
+     * Promote back to flow level once the wire has been idle (no
+     * queueing evidence) for this long past the last congested
+     * busy-until.
+     */
+    Tick quietPeriod = 5 * ticks::us;
+};
+
+/** Display / CLI name of a fidelity mode. */
+const char *fidelityName(FidelityMode mode);
+
+/**
+ * Parse a --fidelity value ("exact", "hybrid", "flow").
+ * @return false when @p text names no mode (@p out untouched).
+ */
+bool parseFidelity(const std::string &text, FidelityMode &out);
+
+} // namespace netsparse
+
+#endif // NETSPARSE_NET_FIDELITY_HH

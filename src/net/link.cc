@@ -1,5 +1,6 @@
 #include "net/link.hh"
 
+#include "sim/arena.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -68,6 +69,26 @@ Link::send(Packet &&pkt)
     Tick arrival = busyUntil_ + cfg_.latency;
     std::uint64_t key = EventQueue::deliveryKey(orderingId_,
                                                deliverySeq_++);
+    if (flowEligible_ && flowRegime(eq_.now(), start, ser)) {
+        // Flow level: the delivery tick is already known in closed
+        // form, and the sink's receivePacket would only re-schedule
+        // the ingress work a fixed delay later - so schedule that work
+        // directly, under the same delivery key. One event per hop;
+        // fusedDeliver accounts the elided one.
+        Tick when = arrival + sinkIngressDelay_;
+        ++flowPackets_;
+        if (outbox_) {
+            outbox_->push(PendingDelivery{when, key, sink_, sinkPort_,
+                                          true, std::move(pkt)});
+            return;
+        }
+        eq_.scheduleDelivery(when, key,
+                             [this, p = std::move(pkt)]() mutable {
+                                 sink_->fusedDeliver(std::move(p),
+                                                     sinkPort_);
+                             });
+        return;
+    }
     // Zero-latency links cannot train: a same-tick flush could race
     // the append (and such configurations run single-shard anyway).
     if (cfg_.batchMaxPackets > 1 && cfg_.latency > 0) {
@@ -79,7 +100,7 @@ Link::send(Packet &&pkt)
         // mailbox; it schedules the delivery on its own queue under the
         // same key at the next epoch barrier.
         outbox_->push(PendingDelivery{arrival, key, sink_, sinkPort_,
-                                      std::move(pkt)});
+                                      false, std::move(pkt)});
         return;
     }
     // The callback owns the packet until delivery (moved into pooled
@@ -104,7 +125,8 @@ Link::sendBatched(Tick arrival, std::uint64_t key, Tick start,
             ++back.count;
             if (outbox_)
                 outbox_->push(PendingDelivery{back.deadline, key, sink_,
-                                              sinkPort_, std::move(pkt)});
+                                              sinkPort_, false,
+                                              std::move(pkt)});
             else
                 back.pkts.push_back(std::move(pkt));
             return;
@@ -122,8 +144,11 @@ Link::sendBatched(Tick arrival, std::uint64_t key, Tick start,
         t.count = 1;
         if (outbox_) {
             outbox_->push(PendingDelivery{t.deadline, key, sink_,
-                                          sinkPort_, std::move(pkt)});
+                                          sinkPort_, false,
+                                          std::move(pkt)});
         } else {
+            t.pkts = BufferArena<Packet>::local().acquire(
+                cfg_.batchMaxPackets);
             t.pkts.push_back(std::move(pkt));
             eq_.scheduleDelivery(t.deadline, key,
                                  [this] { flushTrain(); });
@@ -134,7 +159,7 @@ Link::sendBatched(Tick arrival, std::uint64_t key, Tick start,
     // Idle wire: deliver exactly on time, per packet.
     if (outbox_) {
         outbox_->push(PendingDelivery{arrival, key, sink_, sinkPort_,
-                                      std::move(pkt)});
+                                      false, std::move(pkt)});
         return;
     }
     eq_.scheduleDelivery(arrival, key,
@@ -154,6 +179,35 @@ Link::flushTrain()
     eq_.addExecutedEvents(t.pkts.size() - 1);
     for (auto &p : t.pkts)
         sink_->receivePacket(std::move(p), sinkPort_);
+    BufferArena<Packet>::local().recycle(std::move(t.pkts));
+}
+
+bool
+Link::flowRegime(Tick now, Tick start, Tick ser)
+{
+    if (alwaysFlow_)
+        return true;
+    // Sliding utilization window: restart once it lapses, otherwise
+    // accumulate this packet's wire time into it. busyUntil_ already
+    // includes the current packet (send() updates it first).
+    if (now - windowStart_ >= flowCfg_.utilizationWindow) {
+        windowStart_ = now;
+        windowBusy_ = 0;
+    }
+    windowBusy_ += ser;
+    bool queued = start > now;
+    bool hot = static_cast<double>(windowBusy_) >
+               flowCfg_.demoteUtilization *
+                   static_cast<double>(flowCfg_.utilizationWindow);
+    if (queued || hot) {
+        if (congestedUntil_ <= now)
+            ++demotions_;
+        Tick until = busyUntil_ + flowCfg_.quietPeriod;
+        if (until > congestedUntil_)
+            congestedUntil_ = until;
+        return false;
+    }
+    return congestedUntil_ <= now;
 }
 
 } // namespace netsparse

@@ -75,6 +75,26 @@ Switch::receivePacket(Packet &&pkt, std::uint32_t in_port)
 }
 
 void
+Switch::fusedDeliver(Packet &&pkt, std::uint32_t in_port)
+{
+    // The fused hop (net/fidelity.hh): the upstream link scheduled this
+    // call directly at arrival + fusedIngressDelay(), skipping the
+    // arrival-time event receivePacket would have burned re-scheduling
+    // the pipe work. Account that elided event so executedEvents()
+    // matches the exact path, and emit the same pipe span.
+    eq_.addExecutedEvents(1);
+    NS_TRACE(tw.complete(
+        tw.track(name_), "pipe", eq_.now() - fusedIngressDelay(),
+        eq_.now(),
+        traceArgs({{"prs", static_cast<double>(pkt.prs.size())},
+                   {"inPort", static_cast<double>(in_port)}})));
+    if (cfg_.netsparseEnabled)
+        processMiddlePipe(std::move(pkt), in_port);
+    else
+        forward(std::move(pkt));
+}
+
+void
 Switch::processMiddlePipe(Packet &&pkt, std::uint32_t in_port)
 {
     ns_assert(!concats_.empty(),

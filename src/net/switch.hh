@@ -100,6 +100,22 @@ class Switch : public PacketSink
 
     void receivePacket(Packet &&pkt, std::uint32_t inPort) override;
 
+    /**
+     * Flow-fidelity fusion (net/fidelity.hh): receivePacket above does
+     * nothing at arrival except re-schedule the pipe work a fixed delay
+     * later, so an uncongested upstream link may schedule fusedDeliver
+     * directly at arrival + fusedIngressDelay() under the same delivery
+     * key - identical modeled timing, one event per hop instead of two.
+     */
+    bool fusedCapable() const override { return true; }
+    Tick
+    fusedIngressDelay() const override
+    {
+        return cfg_.pipelineLatency +
+               (cfg_.netsparseEnabled ? cacheLatency_ : 0);
+    }
+    void fusedDeliver(Packet &&pkt, std::uint32_t inPort) override;
+
     SwitchId id() const { return id_; }
     const std::string &name() const { return name_; }
 

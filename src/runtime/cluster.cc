@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "runtime/shard_map.hh"
+#include "sim/arena.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "sim/shard_engine.hh"
@@ -226,6 +227,9 @@ ClusterSim::runGather(GatherWorkload &&work, std::uint32_t k)
         // assigned, so the injected pattern is shard-count-invariant.
         if (cfg_.faults.enabled())
             link.configureFaults(cfg_.faults);
+        // Fidelity after faults: the regime decision is per send, so a
+        // faulted link may still fast-forward its uncongested spans.
+        link.configureFidelity(cfg_.fidelity, cfg_.flow);
         if (src_shard != dst_shard) {
             link.setCrossShardOutbox(
                 &mailboxes[src_shard][dst_shard].box);
@@ -407,9 +411,14 @@ ClusterSim::runGather(GatherWorkload &&work, std::uint32_t k)
                             dst.scheduleDelivery(
                                 rec.when, rec.key,
                                 [sink = rec.sink, port = rec.port,
+                                 fused = rec.fused,
                                  p = std::move(rec.pkt)]() mutable {
-                                    sink->receivePacket(std::move(p),
-                                                        port);
+                                    if (fused)
+                                        sink->fusedDeliver(std::move(p),
+                                                           port);
+                                    else
+                                        sink->receivePacket(std::move(p),
+                                                            port);
                                 });
                         });
                 }
@@ -511,9 +520,12 @@ ClusterSim::runGather(GatherWorkload &&work, std::uint32_t k)
     }
     r.recoveryEnabled = recovery_enabled;
     r.faultsEnabled = cfg_.faults.enabled();
+    r.fidelity = cfg_.fidelity;
     for (const auto &l : links) {
         r.totalWireBytes += l->bytesSent();
         r.packetsDropped += l->packetsDropped();
+        r.flowPackets += l->flowPackets();
+        r.flowDemotions += l->flowDemotions();
         if (const LinkFaultInjector *fi = l->faults()) {
             r.corruptedPrs += fi->stats().corruptedPrs;
             r.linkDownDrops += fi->stats().linkDownDrops;
@@ -580,6 +592,25 @@ ClusterSim::runGather(GatherWorkload &&work, std::uint32_t k)
             for (const auto &sn : snics)
                 agg.merge(*sn->prLatency());
             agg.exportStats(reg, "cluster.prLatency");
+        }
+        if (cfg_.memoryStats) {
+            // Per-shard arena accounting (sim/arena.hh). Shard workers
+            // were joined above, so their arenas have flushed into the
+            // registry; fold in the calling thread's live arenas (the
+            // sequential engine's buffers live here). Gated: these are
+            // process-lifetime host diagnostics, outside the
+            // byte-identical stats contract (see ClusterConfig).
+            ArenaStats mem = ArenaStatsRegistry::instance().totals();
+            mem.add(BufferArena<Packet>::local().stats());
+            mem.add(BufferArena<PropertyRequest>::local().stats());
+            reg.set("cluster.memory.arenaReservedBytes",
+                    static_cast<double>(mem.reservedBytes));
+            reg.set("cluster.memory.arenaHighWaterBytes",
+                    static_cast<double>(mem.highWaterBytes));
+            reg.set("cluster.memory.arenaPoolHits",
+                    static_cast<double>(mem.poolHits));
+            reg.set("cluster.memory.arenaPoolMisses",
+                    static_cast<double>(mem.poolMisses));
         }
     }
     return r;

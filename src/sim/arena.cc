@@ -1,0 +1,28 @@
+#include "sim/arena.hh"
+
+namespace netsparse {
+
+ArenaStatsRegistry &
+ArenaStatsRegistry::instance()
+{
+    // Leaked on purpose: thread_local arenas flush here from thread
+    // exit paths that may run during process teardown.
+    static ArenaStatsRegistry *reg = new ArenaStatsRegistry;
+    return *reg;
+}
+
+void
+ArenaStatsRegistry::flush(const ArenaStats &stats)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    totals_.add(stats);
+}
+
+ArenaStats
+ArenaStatsRegistry::totals() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return totals_;
+}
+
+} // namespace netsparse

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Per-shard (thread-local) buffer arenas.
+ *
+ * The simulator's hottest allocation pattern is short-lived vectors that
+ * shuttle payloads between components on one simulation thread: a
+ * packet's PR list is born at a concatenation point and dies at a
+ * deconcatenation point; a link delivery train's packet list is born
+ * when a burst opens the train and dies when it flushes. BufferArena
+ * recycles those vectors so steady-state traffic never touches the
+ * allocator: acquire() hands back a previously grown buffer, recycle()
+ * returns it cleared but with its capacity intact.
+ *
+ * One arena instance exists per thread (BufferArena<T>::local()), which
+ * under the parallel engine means one per shard worker - no locks on
+ * the hot path, and deterministic behavior because a buffer's capacity
+ * never influences simulated time.
+ *
+ * Accounting: each arena tracks the bytes of capacity it is holding
+ * (reserved) and the most it ever held (high water). When a shard
+ * worker exits, its arena's destructor flushes those numbers into the
+ * process-wide ArenaStatsRegistry; runGather reads the registry (plus
+ * the calling thread's live arenas) to export the gated
+ * `cluster.memory.*` stats keys. The registry keeps process-lifetime
+ * totals - the stats are a host-side diagnostic of the simulator
+ * itself, not part of the deterministic model, which is why the export
+ * is off by default (ClusterConfig::memoryStats).
+ */
+
+#ifndef NETSPARSE_SIM_ARENA_HH
+#define NETSPARSE_SIM_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace netsparse {
+
+/** Aggregated arena accounting (see ArenaStatsRegistry). */
+struct ArenaStats
+{
+    /** Capacity bytes currently parked in arenas. */
+    std::uint64_t reservedBytes = 0;
+    /** Sum of per-arena high-water capacity bytes. */
+    std::uint64_t highWaterBytes = 0;
+    /** acquire() calls served from a recycled buffer. */
+    std::uint64_t poolHits = 0;
+    /** acquire() calls that had to construct a fresh vector. */
+    std::uint64_t poolMisses = 0;
+
+    void
+    add(const ArenaStats &o)
+    {
+        reservedBytes += o.reservedBytes;
+        highWaterBytes += o.highWaterBytes;
+        poolHits += o.poolHits;
+        poolMisses += o.poolMisses;
+    }
+};
+
+/**
+ * Process-wide collection point for arenas whose threads have exited
+ * (shard workers are joined before runGather exports statistics, so
+ * their arenas flush here first). Mutex-protected; touched only at
+ * thread exit and stats-export time, never on the simulation hot path.
+ */
+class ArenaStatsRegistry
+{
+  public:
+    static ArenaStatsRegistry &instance();
+
+    /** Fold a dying arena's accounting into the process totals. */
+    void flush(const ArenaStats &stats);
+
+    /** Totals over every arena flushed so far (process lifetime). */
+    ArenaStats totals() const;
+
+  private:
+    mutable std::mutex mu_;
+    ArenaStats totals_;
+};
+
+/** A thread-local pool of recycled std::vector<T> buffers. */
+template <typename T>
+class BufferArena
+{
+  public:
+    /** Retired buffers kept per arena; excess recycles are freed. */
+    static constexpr std::size_t maxPooled = 64;
+
+    ~BufferArena() { ArenaStatsRegistry::instance().flush(stats()); }
+
+    /** A cleared buffer with capacity for at least @p reserve items. */
+    std::vector<T>
+    acquire(std::size_t reserve)
+    {
+        std::vector<T> buf;
+        if (!pool_.empty()) {
+            buf = std::move(pool_.back());
+            pool_.pop_back();
+            reserved_ -= buf.capacity() * sizeof(T);
+            ++stats_.poolHits;
+        } else {
+            ++stats_.poolMisses;
+        }
+        buf.reserve(reserve);
+        return buf;
+    }
+
+    /** Return a buffer; its capacity feeds the next acquire(). */
+    void
+    recycle(std::vector<T> &&buf)
+    {
+        if (pool_.size() >= maxPooled)
+            return; // freed: the arena is at its retention cap
+        buf.clear();
+        reserved_ += buf.capacity() * sizeof(T);
+        if (reserved_ > highWater_)
+            highWater_ = reserved_;
+        pool_.push_back(std::move(buf));
+    }
+
+    /** This arena's accounting (live snapshot, owning thread only). */
+    ArenaStats
+    stats() const
+    {
+        ArenaStats s = stats_;
+        s.reservedBytes = reserved_;
+        s.highWaterBytes = highWater_;
+        return s;
+    }
+
+    /** The calling thread's (= shard's) arena. */
+    static BufferArena &
+    local()
+    {
+        thread_local BufferArena arena;
+        return arena;
+    }
+
+  private:
+    std::vector<std::vector<T>> pool_;
+    std::uint64_t reserved_ = 0;
+    std::uint64_t highWater_ = 0;
+    ArenaStats stats_;
+};
+
+} // namespace netsparse
+
+#endif // NETSPARSE_SIM_ARENA_HH

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * The hybrid flow/packet fidelity engine's contract (net/fidelity.hh,
+ * docs/performance.md):
+ *
+ *  - hybrid runs are byte-identical across shard counts, like every
+ *    other configuration;
+ *  - on a congestion-free run (no link ever queues, so the detector
+ *    never demotes) hybrid statistics are byte-identical to exact;
+ *  - on congested runs - including under fault injection - hybrid
+ *    preserves the logical event and byte accounting exactly and keeps
+ *    the timing statistics within the documented epsilon;
+ *  - flow counters behave: exact never flows, flow never demotes.
+ *
+ * Also covers the gated cluster.memory.* arena export (sim/arena.hh):
+ * absent by default so the stats document stays byte-identical, present
+ * under ClusterConfig::memoryStats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "runtime/cluster.hh"
+#include "sim/stats_export.hh"
+#include "sparse/generators.hh"
+
+using namespace netsparse;
+
+namespace {
+
+/** Documented validity envelope of hybrid timing statistics. */
+constexpr double kEps = 0.02;
+
+/** 16 nodes over 4 racks, so up to 4 shards are available. */
+ClusterConfig
+smallCluster(FidelityMode fidelity, std::uint32_t shards = 1)
+{
+    ClusterConfig cfg = defaultClusterConfig(16);
+    cfg.nodesPerRack = 4;
+    cfg.numSpines = 4;
+    cfg.simShards = shards;
+    cfg.fidelity = fidelity;
+    return cfg;
+}
+
+/** Run one gather under a private collector; return its JSON document. */
+std::string
+runToJson(ClusterConfig cfg, const Csr &m, const Partition1D &part,
+          GatherRunResult *out = nullptr)
+{
+    StatsExport collector;
+    collector.setCollect(true);
+    StatsExport::Bind bind(collector);
+    ClusterSim sim(cfg);
+    GatherRunResult r = sim.runGather(m, part, 16);
+    if (out)
+        *out = r;
+    return collector.toJson();
+}
+
+double
+relDelta(double a, double b)
+{
+    return a != 0.0 ? std::fabs(b - a) / std::fabs(a)
+                    : std::fabs(b - a);
+}
+
+} // namespace
+
+TEST(Fidelity, HybridStatsAreByteIdenticalAcrossShardCounts)
+{
+    Csr m = makeBenchmarkMatrix(MatrixKind::Arabic, 0.02);
+    Partition1D part = Partition1D::equalRows(m.rows, 16);
+
+    GatherRunResult seq;
+    std::string ref = runToJson(smallCluster(FidelityMode::Hybrid, 1),
+                                m, part, &seq);
+    EXPECT_GT(seq.flowPackets, 0u);
+
+    for (std::uint32_t shards : {2u, 4u}) {
+        GatherRunResult par;
+        std::string got = runToJson(
+            smallCluster(FidelityMode::Hybrid, shards), m, part, &par);
+        EXPECT_EQ(par.simShards, shards);
+        EXPECT_EQ(got, ref) << "hybrid stats diverged at " << shards
+                            << " shards";
+        EXPECT_EQ(par.commTicks, seq.commTicks);
+        EXPECT_EQ(par.executedEvents, seq.executedEvents);
+        // The regime decisions themselves are shard-invariant: they
+        // are a pure function of link-local send history.
+        EXPECT_EQ(par.flowPackets, seq.flowPackets);
+        EXPECT_EQ(par.flowDemotions, seq.flowDemotions);
+    }
+}
+
+TEST(Fidelity, HybridMatchesExactByteForByteWhenUncongested)
+{
+    // Effectively infinite wires: serialization rounds to zero ticks,
+    // so no send ever finds the wire busy, the detector never demotes,
+    // and every fusable hop takes the flow path. This is the
+    // congestion-free regime where hybrid claims byte-identity.
+    Csr m = makeBenchmarkMatrix(MatrixKind::Arabic, 0.02);
+    Partition1D part = Partition1D::equalRows(m.rows, 16);
+
+    ClusterConfig exact_cfg = smallCluster(FidelityMode::Exact);
+    exact_cfg.link.bandwidth = Bandwidth::fromGbps(1e14);
+    GatherRunResult ex;
+    std::string exact_json = runToJson(exact_cfg, m, part, &ex);
+    ASSERT_EQ(ex.flowPackets, 0u);
+
+    for (std::uint32_t shards : {1u, 2u, 4u}) {
+        ClusterConfig cfg = smallCluster(FidelityMode::Hybrid, shards);
+        cfg.link.bandwidth = Bandwidth::fromGbps(1e14);
+        GatherRunResult hy;
+        std::string hybrid_json = runToJson(cfg, m, part, &hy);
+        EXPECT_EQ(hy.flowDemotions, 0u)
+            << "a zero-serialization wire should never look congested";
+        EXPECT_GT(hy.flowPackets, 0u);
+        EXPECT_EQ(hybrid_json, exact_json)
+            << "uncongested hybrid diverged from exact at " << shards
+            << " shards";
+        EXPECT_EQ(hy.commTicks, ex.commTicks);
+        EXPECT_EQ(hy.executedEvents, ex.executedEvents);
+        EXPECT_EQ(hy.totalWireBytes, ex.totalWireBytes);
+    }
+}
+
+TEST(Fidelity, HybridStaysWithinEpsilonWhenCongested)
+{
+    // Default 400 Gbps wires: the gather's bursts queue, the detector
+    // demotes, and fused/exact pipe work interleaves - the regime where
+    // hybrid promises epsilon-bounded timing, not byte-identity.
+    Csr m = makeBenchmarkMatrix(MatrixKind::Arabic, 0.05);
+    Partition1D part = Partition1D::equalRows(m.rows, 16);
+
+    GatherRunResult ex, hy;
+    runToJson(smallCluster(FidelityMode::Exact), m, part, &ex);
+    runToJson(smallCluster(FidelityMode::Hybrid), m, part, &hy);
+
+    EXPECT_GT(hy.flowPackets, 0u);
+    // Logical accounting is preserved exactly: every packet, byte and
+    // event exists in both runs, only scheduling bands differ.
+    EXPECT_EQ(hy.executedEvents, ex.executedEvents);
+    EXPECT_EQ(hy.totalWireBytes, ex.totalWireBytes);
+    // Timing statistics stay within the documented envelope.
+    EXPECT_LE(relDelta(static_cast<double>(ex.commTicks),
+                       static_cast<double>(hy.commTicks)),
+              kEps);
+    EXPECT_LE(relDelta(ex.tailGoodput, hy.tailGoodput), kEps);
+    EXPECT_LE(relDelta(ex.tailLineUtil, hy.tailLineUtil), kEps);
+}
+
+TEST(Fidelity, HybridStaysWithinEpsilonUnderFaultInjection)
+{
+    Csr m = makeBenchmarkMatrix(MatrixKind::Arabic, 0.05);
+    Partition1D part = Partition1D::equalRows(m.rows, 16);
+
+    FaultConfig fc;
+    fc.dropRate = 1e-3;
+    fc.corruptRate = 1e-4;
+    fc.seed = 7;
+
+    ClusterConfig exact_cfg = smallCluster(FidelityMode::Exact);
+    exact_cfg.faults = fc;
+    ClusterConfig hybrid_cfg = smallCluster(FidelityMode::Hybrid);
+    hybrid_cfg.faults = fc;
+
+    GatherRunResult ex, hy;
+    runToJson(exact_cfg, m, part, &ex);
+    std::string hy1 = runToJson(hybrid_cfg, m, part, &hy);
+
+    // Fault draws are keyed on per-link send sequences, which hybrid
+    // does not alter, so the injected pattern is identical.
+    EXPECT_EQ(hy.packetsDropped, ex.packetsDropped);
+    EXPECT_EQ(hy.corruptedPrs, ex.corruptedPrs);
+    EXPECT_EQ(hy.executedEvents, ex.executedEvents);
+    EXPECT_LE(relDelta(static_cast<double>(ex.commTicks),
+                       static_cast<double>(hy.commTicks)),
+              kEps);
+
+    // And the lossy hybrid run is still shard-invariant.
+    hybrid_cfg.simShards = 2;
+    std::string hy2 = runToJson(hybrid_cfg, m, part);
+    EXPECT_EQ(hy2, hy1);
+}
+
+TEST(Fidelity, FlowCountersBehaveAcrossModes)
+{
+    Csr m = makeBenchmarkMatrix(MatrixKind::Arabic, 0.02);
+    Partition1D part = Partition1D::equalRows(m.rows, 16);
+
+    GatherRunResult ex, hy, fl;
+    runToJson(smallCluster(FidelityMode::Exact), m, part, &ex);
+    runToJson(smallCluster(FidelityMode::Hybrid), m, part, &hy);
+    runToJson(smallCluster(FidelityMode::Flow), m, part, &fl);
+
+    EXPECT_EQ(ex.fidelity, FidelityMode::Exact);
+    EXPECT_EQ(ex.flowPackets, 0u);
+    EXPECT_EQ(ex.flowDemotions, 0u);
+
+    EXPECT_EQ(hy.fidelity, FidelityMode::Hybrid);
+    EXPECT_GT(hy.flowPackets, 0u);
+
+    // Flow mode never demotes and fuses every capable hop.
+    EXPECT_EQ(fl.fidelity, FidelityMode::Flow);
+    EXPECT_EQ(fl.flowDemotions, 0u);
+    EXPECT_GT(fl.flowPackets, hy.flowPackets);
+    // Logical accounting is mode-invariant.
+    EXPECT_EQ(fl.executedEvents, ex.executedEvents);
+    EXPECT_EQ(fl.totalWireBytes, ex.totalWireBytes);
+}
+
+TEST(Fidelity, ParseAndNameRoundTrip)
+{
+    FidelityMode mode = FidelityMode::Exact;
+    EXPECT_TRUE(parseFidelity("hybrid", mode));
+    EXPECT_EQ(mode, FidelityMode::Hybrid);
+    EXPECT_TRUE(parseFidelity("flow", mode));
+    EXPECT_EQ(mode, FidelityMode::Flow);
+    EXPECT_TRUE(parseFidelity("exact", mode));
+    EXPECT_EQ(mode, FidelityMode::Exact);
+    EXPECT_FALSE(parseFidelity("packet", mode));
+    EXPECT_EQ(mode, FidelityMode::Exact);
+    EXPECT_STREQ(fidelityName(FidelityMode::Hybrid), "hybrid");
+}
+
+TEST(Fidelity, MemoryStatsAreGated)
+{
+    Csr m = makeBenchmarkMatrix(MatrixKind::Arabic, 0.02);
+    Partition1D part = Partition1D::equalRows(m.rows, 16);
+
+    // Off by default: no cluster.memory.* keys, so the document stays
+    // byte-identical to pre-arena collectors.
+    std::string off = runToJson(smallCluster(FidelityMode::Exact), m,
+                                part);
+    EXPECT_EQ(off.find("cluster.memory."), std::string::npos);
+
+    ClusterConfig cfg = smallCluster(FidelityMode::Exact);
+    cfg.memoryStats = true;
+    std::string on = runToJson(cfg, m, part);
+    EXPECT_NE(on.find("cluster.memory.arenaReservedBytes"),
+              std::string::npos);
+    EXPECT_NE(on.find("cluster.memory.arenaHighWaterBytes"),
+              std::string::npos);
+    EXPECT_NE(on.find("cluster.memory.arenaPoolHits"),
+              std::string::npos);
+}
