@@ -41,6 +41,18 @@
  *                          drop:1e-4,corrupt:1e-5,down:1e-6,downUs:5,
  *                          degrade:1e-5,degradeUs:20,degradeFactor:0.25,
  *                          seed:1 (see docs/resilience.md)
+ *     --jobs J             concurrent gather jobs (tenants) on one
+ *                          fabric (default 1; see docs/observability.md
+ *                          for the cluster.tenant<t>.* metrics)
+ *     --background SPEC    synthetic background traffic
+ *                          pattern:load[:packets[:bytes]], pattern in
+ *                          incast|alltoall|storage, load a fraction of
+ *                          the NIC line rate (e.g. incast:0.5:2000)
+ *     --switch-queue Q     fifo (default) or fq (per-tenant
+ *                          deficit-round-robin fair queueing at switch
+ *                          output ports)
+ *     --cache-mode M       shared (default) or partitioned per-tenant
+ *                          ToR Property Cache slices
  *     --shards N           parallel-engine shards; 0 consults
  *                          NETSPARSE_SIM_SHARDS             (default 0)
  *     --stats              dump the full stats registry
@@ -55,6 +67,7 @@
  *                          (default 10)
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -62,6 +75,7 @@
 #include <string>
 
 #include "runtime/cluster.hh"
+#include "runtime/job_scheduler.hh"
 #include "sim/stats.hh"
 #include "sim/stats_export.hh"
 #include "sim/telemetry.hh"
@@ -92,11 +106,37 @@ usage(const char *argv0)
                  "  [--faults drop:R,corrupt:R,down:R,downUs:T,"
                  "degrade:R,degradeUs:T,\n"
                  "            degradeFactor:F,seed:S]\n"
+                 "  [--jobs J] [--background pattern:load[:packets"
+                 "[:bytes]]]\n"
+                 "  [--switch-queue fifo|fq] "
+                 "[--cache-mode shared|partitioned]\n"
                  "  [--stats-json FILE] [--trace-out FILE] "
                  "[--telemetry-out FILE]\n"
                  "  [--telemetry-interval US]\n",
                  argv0);
     std::exit(2);
+}
+
+/**
+ * Checked unsigned-integer parse for CLI flags. std::atoi silently
+ * returns 0 on garbage and accepts negatives, which downstream code
+ * then treats as valid configuration; here anything that is not a
+ * plain non-negative integer fails loudly, naming the flag.
+ */
+std::uint64_t
+parseUint(const char *flag, const char *text)
+{
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text, &end, 0);
+    if (errno != 0 || end == text || *end != '\0' ||
+        std::strchr(text, '-') != nullptr) {
+        std::fprintf(stderr,
+                     "%s: expected a non-negative integer, got '%s'\n",
+                     flag, text);
+        std::exit(2);
+    }
+    return v;
 }
 
 } // namespace
@@ -121,6 +161,9 @@ main(int argc, char **argv)
     bool dump_stats = false;
     std::string stats_json, trace_out, faults_spec, telemetry_out;
     double telemetry_interval_us = 10.0;
+    std::uint32_t num_jobs = 1;
+    std::string background_spec, switch_queue = "fifo",
+                cache_mode = "shared";
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -134,15 +177,17 @@ main(int argc, char **argv)
         else if (a == "--scale")
             scale = std::atof(next());
         else if (a == "--nodes")
-            nodes = std::atoi(next());
+            nodes = static_cast<std::uint32_t>(
+                parseUint("--nodes", next()));
         else if (a == "--k")
-            k = std::atoi(next());
+            k = static_cast<std::uint32_t>(parseUint("--k", next()));
         else if (a == "--stage")
-            stage = std::atoi(next());
+            stage = static_cast<int>(parseUint("--stage", next()));
         else if (a == "--topology")
             topology = next();
         else if (a == "--batch")
-            batch = std::atoi(next());
+            batch = static_cast<std::uint32_t>(
+                parseUint("--batch", next()));
         else if (a == "--adaptive")
             adaptive = true;
         else if (a == "--virtual-cqs")
@@ -150,11 +195,12 @@ main(int argc, char **argv)
         else if (a == "--no-cache")
             no_cache = true;
         else if (a == "--cache-bytes")
-            cache_bytes = std::strtoull(next(), nullptr, 0);
+            cache_bytes = parseUint("--cache-bytes", next());
         else if (a == "--partition")
             partition = next();
         else if (a == "--shards")
-            shards = std::atoi(next());
+            shards = static_cast<std::uint32_t>(
+                parseUint("--shards", next()));
         else if (a == "--stream")
             stream = true;
         else if (a == "--batched-events")
@@ -181,8 +227,35 @@ main(int argc, char **argv)
             telemetry_out = next();
         else if (a == "--telemetry-interval")
             telemetry_interval_us = std::atof(next());
+        else if (a == "--jobs")
+            num_jobs = static_cast<std::uint32_t>(
+                parseUint("--jobs", next()));
+        else if (a == "--background")
+            background_spec = next();
+        else if (a.rfind("--background=", 0) == 0)
+            background_spec = a.substr(13);
+        else if (a == "--switch-queue")
+            switch_queue = next();
+        else if (a == "--cache-mode")
+            cache_mode = next();
         else
             usage(argv[0]);
+    }
+    if (num_jobs < 1)
+        usage(argv[0]);
+    if (switch_queue != "fifo" && switch_queue != "fq")
+        usage(argv[0]);
+    if (cache_mode != "shared" && cache_mode != "partitioned")
+        usage(argv[0]);
+    BackgroundTrafficConfig bg;
+    if (!background_spec.empty() &&
+        !BackgroundTrafficConfig::parse(background_spec, bg)) {
+        std::fprintf(stderr,
+                     "--background: expected pattern:load[:packets"
+                     "[:bytes]] with pattern in incast|alltoall|"
+                     "storage, got '%s'\n",
+                     background_spec.c_str());
+        return 2;
     }
     if (k < 1 || k > 128 || nodes < 2)
         usage(argv[0]);
@@ -268,6 +341,8 @@ main(int argc, char **argv)
     cfg.eventBatching = batched_events;
     cfg.fidelity = fidelity;
     cfg.memoryStats = memory_stats;
+    cfg.fairQueue = switch_queue == "fq";
+    cfg.tenantCachePartitioned = cache_mode == "partitioned";
     if (!faults_spec.empty())
         cfg.faults = FaultConfig::parse(faults_spec);
     cfg.telemetryInterval = static_cast<Tick>(
@@ -304,6 +379,79 @@ main(int argc, char **argv)
         std::fprintf(stderr, "cannot open --telemetry-out output %s\n",
                      telemetry_out.c_str());
         return 1;
+    }
+
+    // Multi-tenant runs (several jobs, or one job sharing the fabric
+    // with background traffic) go through the scheduler; its stats
+    // document is the cluster.tenant<t>.* schema, so the flat --stats
+    // dump of legacy cluster keys does not apply.
+    if (num_jobs > 1 || bg.enabled()) {
+        if (dump_stats) {
+            std::fprintf(stderr,
+                         "--stats dumps the single-job document; use "
+                         "--stats-json with --jobs/--background\n");
+            return 2;
+        }
+        auto make_work = [&]() {
+            GatherWorkload w;
+            if (stream) {
+                PartitionedMatrix pm =
+                    buildPartitionedBenchmark(named_kind, scale, nodes);
+                w.numIdxs = pm.cols;
+                w.part = pm.part;
+                w.streams = pm.takeStreams();
+                return w;
+            }
+            w.numIdxs = m.cols;
+            w.part = part;
+            w.streams.reserve(nodes);
+            for (NodeId nid = 0; nid < nodes; ++nid)
+                w.streams.emplace_back(
+                    m.colIdx.begin() + m.rowPtr[part.begin(nid)],
+                    m.colIdx.begin() + m.rowPtr[part.end(nid)]);
+            return w;
+        };
+        std::vector<JobSpec> specs(num_jobs);
+        for (std::uint32_t j = 0; j < num_jobs; ++j) {
+            specs[j].work = stream && j == 0 ? std::move(work)
+                                             : make_work();
+            specs[j].k = k;
+            specs[j].name = "job" + std::to_string(j);
+        }
+        JobScheduler sched(cfg);
+        MultiJobResult mr = sched.run(std::move(specs), bg);
+
+        TraceWriter::instance().close();
+        StatsExport::instance().writeFile();
+        TelemetrySink::instance().writeFile();
+
+        std::printf("\nmakespan           : %10.2f us  (%u jobs, %s "
+                    "queues, %s cache)\n",
+                    ticks::toNs(mr.makespanTicks) / 1e3, num_jobs,
+                    cfg.fairQueue ? "fq" : "fifo",
+                    cfg.tenantCachePartitioned ? "partitioned"
+                                               : "shared");
+        for (std::uint32_t j = 0; j < mr.jobs.size(); ++j) {
+            const GatherRunResult &jr = mr.jobs[j];
+            std::printf("  job%u             : %10.2f us  (tail node "
+                        "%u), goodput %.1f%%, %llu PRs in-switch\n",
+                        j, ticks::toNs(jr.commTicks) / 1e3, jr.tailNode,
+                        100 * jr.tailGoodput,
+                        (unsigned long long)jr.prsServedByCache);
+        }
+        if (bg.enabled())
+            std::printf("background         : %10llu packets injected "
+                        "(%llu delivered, %.1f MB)\n",
+                        (unsigned long long)mr.backgroundPackets,
+                        (unsigned long long)mr.backgroundDelivered,
+                        static_cast<double>(mr.backgroundDeliveredBytes) /
+                            1e6);
+        if (mr.simShards > 1)
+            std::printf("parallel engine    : %10u shards, %llu epochs, "
+                        "lookahead %.0f ns\n",
+                        mr.simShards, (unsigned long long)mr.epochs,
+                        ticks::toNs(mr.lookaheadTicks));
+        return 0;
     }
 
     ClusterSim sim(cfg);

@@ -68,9 +68,29 @@ def main():
               file=sys.stderr)
         sys.exit(2)
 
-    scale = float(os.environ.get("NETSPARSE_PERF_BASELINE_SCALE", "1.0"))
-    floor = reference * scale * (1.0 - args.tolerance)
-    ratio = measured / (reference * scale)
+    try:
+        scale = float(
+            os.environ.get("NETSPARSE_PERF_BASELINE_SCALE", "1.0"))
+    except ValueError:
+        print("check_perf_regression: NETSPARSE_PERF_BASELINE_SCALE "
+              "is not a number", file=sys.stderr)
+        sys.exit(2)
+    if scale <= 0:
+        print(f"check_perf_regression: baseline scale {scale:g} must "
+              "be positive", file=sys.stderr)
+        sys.exit(2)
+
+    # The scale knob exists to move the FAILURE floor for slower (or
+    # faster) runners; it must apply symmetrically to every derived
+    # number, or a regression on a fast runner (scale < 1) reads as an
+    # "improvement" against the unscaled reference. So the ratio and
+    # the improvement watermark use the same scaled baseline the floor
+    # does.
+    scaled_reference = reference * scale
+    floor = scaled_reference * (1.0 - args.tolerance)
+    ratio = measured / scaled_reference
+    improvement_mark = scaled_reference * (1.0 + args.tolerance)
+    improved = measured > improvement_mark
 
     failures = []
     if measured < floor:
@@ -96,6 +116,7 @@ def main():
         "baseline_scale": scale,
         "ratio_vs_baseline": ratio,
         "tolerance": args.tolerance,
+        "improved_vs_baseline": improved,
         "fidelity_delta": fidelity,
         "pass": not failures,
     }
@@ -106,6 +127,10 @@ def main():
 
     print(f"throughput : {measured:.0f} events/s "
           f"({ratio:.2f}x of scaled baseline, floor {floor:.0f})")
+    if improved and scale == 1.0:
+        print(f"note       : throughput beats the baseline by more than "
+              f"{args.tolerance:.0%}; consider raising "
+              f"bench/perf_baseline.json")
     if fidelity:
         print(f"fidelity   : commTicks delta "
               f"{fidelity.get('comm_ticks_rel_delta')}, goodput delta "

@@ -13,7 +13,7 @@ import json
 import sys
 
 SCHEMA = "netsparse-telemetry-v1"
-KINDS = {"link", "switch", "rig", "sim"}
+KINDS = {"link", "switch", "rig", "sim", "tenant"}
 
 
 def check(doc, errors):

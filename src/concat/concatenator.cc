@@ -26,6 +26,7 @@ Concatenator::emitSolo(PropertyRequest &&pr, NodeId dest)
     pkt.src = pr.src;
     pkt.dest = dest;
     pkt.type = pr.type;
+    pkt.tenant = pr.tenant;
     pkt.concatenated = false;
     pkt.prs = acquirePrBuffer(1);
     pkt.prs.push_back(std::move(pr));
@@ -68,7 +69,7 @@ Concatenator::push(PropertyRequest &&pr, NodeId dest)
         return;
     }
 
-    std::size_t idx = denseKey(pr.type, dest);
+    std::size_t idx = denseKey(pr.type, dest, pr.tenant);
     if (idx >= queues_.size())
         queues_.resize(idx + 1);
     Cq &cq = queues_[idx];
@@ -164,6 +165,7 @@ Concatenator::flush(Cq &cq, [[maybe_unused]] const char *reason)
     pkt.src = cq.prs.front().src;
     pkt.dest = cq.dest;
     pkt.type = cq.type;
+    pkt.tenant = cq.prs.front().tenant;
     pkt.concatenated = true;
     // Steal cq.prs wholesale and hand the CQ a recycled buffer: packets
     // die at a deconcatenation point on this same thread, so the pool

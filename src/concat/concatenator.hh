@@ -49,6 +49,14 @@ struct ConcatConfig
     std::uint32_t physicalCqBytes = 128;
     /** Number of physical CQs in virtualized mode. */
     std::uint32_t numPhysicalCqs = 64;
+    /**
+     * Per-tenant CQ lanes: with more than one lane, PRs of different
+     * tenants never share a CQ (so no packet mixes tenants and the
+     * emitted Packet::tenant is well defined). The default single lane
+     * keeps the dense table layout - and thus the whole event stream -
+     * bit-identical to the pre-tenancy simulator.
+     */
+    std::uint32_t tenantLanes = 1;
 };
 
 /**
@@ -119,14 +127,18 @@ class Concatenator
     };
 
     /**
-     * Index of (type, dest) in the dense CQ table. Grouped by dest so
-     * both of a destination's CQs share cache lines.
+     * Index of (type, dest[, tenant lane]) in the dense CQ table.
+     * Grouped by dest so both of a destination's CQs share cache
+     * lines; with multiple tenant lanes a destination owns a
+     * contiguous lane strip.
      */
-    static std::size_t
-    denseKey(PrType type, NodeId dest)
+    std::size_t
+    denseKey(PrType type, NodeId dest, std::uint16_t tenant) const
     {
-        return (static_cast<std::size_t>(dest) << 1) |
-               static_cast<std::size_t>(type);
+        std::size_t slot = static_cast<std::size_t>(dest);
+        if (cfg_.tenantLanes > 1)
+            slot = slot * cfg_.tenantLanes + (tenant % cfg_.tenantLanes);
+        return (slot << 1) | static_cast<std::size_t>(type);
     }
 
     void emitSolo(PropertyRequest &&pr, NodeId dest);

@@ -53,6 +53,13 @@ Link::send(Packet &&pkt)
         // A dropped packet burns wire time (accounted above via
         // busyTicks_) but is never delivered, so it counts only in the
         // drop statistics - not in the sent packet/byte/payload totals.
+        // The congestion detector must still see that wire time: on a
+        // lossy link the drops are part of the load, and skipping the
+        // update here left re-promotion reading a busyUntil_ the
+        // detector never aged past (the window stayed stale until the
+        // next delivered packet, if any ever came).
+        if (flowEligible_ && !alwaysFlow_)
+            updateCongestion(eq_.now(), start, ser);
         ++dropped_;
         droppedBytes_ += wire;
         NS_TRACE(tw.instant(tw.track(name_), "drop", busyUntil_));
@@ -183,10 +190,8 @@ Link::flushTrain()
 }
 
 bool
-Link::flowRegime(Tick now, Tick start, Tick ser)
+Link::updateCongestion(Tick now, Tick start, Tick ser)
 {
-    if (alwaysFlow_)
-        return true;
     // Sliding utilization window: restart once it lapses, otherwise
     // accumulate this packet's wire time into it. busyUntil_ already
     // includes the current packet (send() updates it first).
@@ -205,8 +210,18 @@ Link::flowRegime(Tick now, Tick start, Tick ser)
         Tick until = busyUntil_ + flowCfg_.quietPeriod;
         if (until > congestedUntil_)
             congestedUntil_ = until;
-        return false;
+        return true;
     }
+    return false;
+}
+
+bool
+Link::flowRegime(Tick now, Tick start, Tick ser)
+{
+    if (alwaysFlow_)
+        return true;
+    if (updateCongestion(now, start, ser))
+        return false;
     return congestedUntil_ <= now;
 }
 

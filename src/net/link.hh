@@ -254,9 +254,19 @@ class Link
     void flushTrain();
 
     /**
-     * The congestion detector (net/fidelity.hh), evaluated on the send
-     * path: updates the demotion window from the busy-until chain and
-     * the sliding utilization window.
+     * Feed one send into the congestion detector (net/fidelity.hh):
+     * updates the sliding utilization window and, when the send was
+     * queued or the window is hot, extends the demotion window from
+     * the busy-until chain. Every send that burns wire time must pass
+     * through here - including faulted (dropped) ones, whose wire time
+     * otherwise never ages busyUntil_ out of the detector and can
+     * leave a quiet link demoted for the rest of the run.
+     * @return true when this send demands packet fidelity right now.
+     */
+    bool updateCongestion(Tick now, Tick start, Tick ser);
+
+    /**
+     * The congestion detector query, evaluated on the send path.
      * @return true when this packet should take the flow-level path.
      */
     bool flowRegime(Tick now, Tick start, Tick ser);

@@ -38,6 +38,13 @@ struct PropertyRequest
     NodeId src = invalidNode;
     /** RIG unit (thread) id within the source SNIC. */
     std::uint16_t srcTid = 0;
+    /**
+     * Tenant (job) id of the issuing virtual SNIC slice. Rides the PR
+     * with zero wire-size cost - the real header's QP number already
+     * identifies the tenant - and keys per-tenant cache partitions,
+     * fair-queueing lanes and SLO accounting. 0 on single-job runs.
+     */
+    std::uint16_t tenant = 0;
     /** Property index (the nonzero's cid). */
     PropIdx idx = 0;
     /** Per-unit request identifier. */
@@ -126,12 +133,23 @@ struct Packet
     PrType type = PrType::Read;
     /** True when the packet uses the concatenation layer. */
     bool concatenated = false;
+    /** Tenant id of the PRs inside (see PropertyRequest::tenant). */
+    std::uint16_t tenant = 0;
+    /**
+     * Raw (non-PR) wire size. Nonzero marks a background-traffic
+     * packet: it carries no PRs, occupies exactly rawBytes on the
+     * wire, skips the NetSparse middle pipes, and is discarded at the
+     * destination node. 0 for every protocol packet.
+     */
+    std::uint32_t rawBytes = 0;
     std::vector<PropertyRequest> prs;
 
     /** Total bytes on the wire, headers included. */
     std::uint64_t
     wireBytes(const ProtocolParams &proto) const
     {
+        if (rawBytes)
+            return rawBytes;
         if (!concatenated) {
             std::uint64_t b = 0;
             for (const auto &pr : prs)
@@ -160,6 +178,21 @@ constexpr std::uint64_t
 propertyChecksum(PropIdx idx)
 {
     return splitmix64(idx ^ 0x0e75ea5eULL);
+}
+
+/**
+ * Tenant-salted variant: concurrent jobs gather from different
+ * matrices, so the same idx names different property data per tenant.
+ * Salting the checksum makes a cross-tenant mixup detectable end to
+ * end, exactly like corruption. Idxs are 32-bit in practice, so the
+ * salt occupies otherwise-clear high bits and tenant 0 reproduces the
+ * single-job checksum bit for bit.
+ */
+constexpr std::uint64_t
+propertyChecksum(PropIdx idx, std::uint16_t tenant)
+{
+    return propertyChecksum(
+        idx ^ (static_cast<std::uint64_t>(tenant) << 40));
 }
 
 } // namespace netsparse

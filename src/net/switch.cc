@@ -11,6 +11,8 @@ Switch::Switch(EventQueue &eq, SwitchConfig cfg, SwitchId id,
 {
     Clock pipe_clock(cfg_.pipeClockHz);
     cacheLatency_ = pipe_clock.cycles(cfg_.cache.latencyCycles);
+    if (cfg_.numTenants > 1)
+        servedByCacheTenant_.assign(cfg_.numTenants, 0);
 }
 
 void
@@ -19,6 +21,12 @@ Switch::attachPort(std::uint32_t port, Link *out, bool to_host)
     ns_assert(port == out_.size(), "ports must be attached in order");
     out_.push_back(out);
     hostPort_.push_back(to_host);
+    if (cfg_.fairQueue) {
+        OutPortFq fq;
+        fq.lanes.resize(cfg_.numTenants + 1);
+        fq.deficit.assign(cfg_.numTenants + 1, 0);
+        fq_.push_back(std::move(fq));
+    }
 }
 
 void
@@ -33,7 +41,21 @@ Switch::configureForKernel(std::uint32_t prop_bytes)
         cfg_.portsPerPipe;
 
     if (caches_.empty()) {
-        if (cfg_.cachePerPipe) {
+        if (cfg_.tenantCachePartitioned && cfg_.numTenants > 1) {
+            // Per-tenant isolation: each job owns an equal slice of
+            // the budget, so one tenant's working set cannot evict
+            // another's. Orthogonal to (and exclusive with) the
+            // per-pipe organization.
+            ns_assert(!cfg_.cachePerPipe,
+                      "tenant-partitioned cache is exclusive with "
+                      "cachePerPipe on ", name_);
+            PropertyCacheConfig per_tenant = cfg_.cache;
+            per_tenant.totalBytes =
+                cfg_.cache.totalBytes / cfg_.numTenants;
+            for (std::uint32_t t = 0; t < cfg_.numTenants; ++t)
+                caches_.push_back(
+                    std::make_unique<PropertyCache>(per_tenant));
+        } else if (cfg_.cachePerPipe) {
             PropertyCacheConfig per_pipe = cfg_.cache;
             per_pipe.totalBytes = cfg_.cache.totalBytes / pipes;
             for (std::uint32_t p = 0; p < pipes; ++p)
@@ -67,7 +89,9 @@ Switch::receivePacket(Packet &&pkt, std::uint32_t in_port)
         traceArgs({{"prs", static_cast<double>(pkt.prs.size())},
                    {"inPort", static_cast<double>(in_port)}})));
     eq_.scheduleIn(delay, [this, p = std::move(pkt), in_port]() mutable {
-        if (cfg_.netsparseEnabled)
+        // Raw background packets carry no PRs: the middle pipes have
+        // nothing to do with them, they just cross to their egress.
+        if (cfg_.netsparseEnabled && !p.rawBytes)
             processMiddlePipe(std::move(p), in_port);
         else
             forward(std::move(p));
@@ -88,10 +112,26 @@ Switch::fusedDeliver(Packet &&pkt, std::uint32_t in_port)
         eq_.now(),
         traceArgs({{"prs", static_cast<double>(pkt.prs.size())},
                    {"inPort", static_cast<double>(in_port)}})));
-    if (cfg_.netsparseEnabled)
+    if (cfg_.netsparseEnabled && !pkt.rawBytes)
         processMiddlePipe(std::move(pkt), in_port);
     else
         forward(std::move(pkt));
+}
+
+PropertyCache &
+Switch::cacheFor(const PropertyRequest &pr, std::uint32_t pipe)
+{
+    if (cfg_.tenantCachePartitioned && cfg_.numTenants > 1) {
+        std::uint32_t t = pr.tenant < cfg_.numTenants
+                              ? pr.tenant
+                              : cfg_.numTenants - 1;
+        return *caches_[t];
+    }
+    // With the shared organization there is a single cache array; in
+    // per-pipe mode each middle pipe owns a slice (see header comment).
+    ns_assert(!cfg_.cachePerPipe || pipe < caches_.size(),
+              "pipe ", pipe, " has no cache slice on ", name_);
+    return *caches_[cfg_.cachePerPipe ? pipe : 0];
 }
 
 void
@@ -114,11 +154,6 @@ Switch::processMiddlePipe(Packet &&pkt, std::uint32_t in_port)
     // through the wrong pipe's cache slice.
     ns_assert(pipe < concats_.size(), "pipe ", pipe, " out of range on ",
               name_, " (", concats_.size(), " middle pipes)");
-    // With the shared organization there is a single cache array; in
-    // per-pipe mode each middle pipe owns a slice (see header comment).
-    ns_assert(!cfg_.cachePerPipe || pipe < caches_.size(),
-              "pipe ", pipe, " has no cache slice on ", name_);
-    PropertyCache &cache = *caches_[cfg_.cachePerPipe ? pipe : 0];
     Concatenator &concat = *concats_[pipe];
 
     NodeId pkt_dest = pkt.dest;
@@ -144,13 +179,17 @@ Switch::processMiddlePipe(Packet &&pkt, std::uint32_t in_port)
         } else if (pr.type == PrType::Read && from_host && !egress_host) {
             // A read leaving the rack: try to serve it locally.
             std::uint64_t csum = 0;
-            if (cache.lookup(pr.idx, csum)) {
+            if (cacheFor(pr, pipe).lookup(cacheKey(pr), csum)) {
                 pr.type = PrType::Response;
                 pr.payloadBytes = pr.propBytes;
                 pr.checksum = csum;
                 pr.fetchTick = eq_.now();
                 pr.servedByCache = true;
                 ++servedByCache_;
+                if (!servedByCacheTenant_.empty())
+                    ++servedByCacheTenant_[pr.tenant < cfg_.numTenants
+                                               ? pr.tenant
+                                               : cfg_.numTenants - 1];
                 NS_TRACE(tw.instant(
                     tw.track(name_), "cache.hit", eq_.now(),
                     traceArgs(
@@ -164,7 +203,7 @@ Switch::processMiddlePipe(Packet &&pkt, std::uint32_t in_port)
                 traceArgs({{"idx", static_cast<double>(pr.idx)}})));
         } else if (pr.type == PrType::Response && !from_host &&
                    egress_host && cfg_.verifyResponses &&
-                   pr.checksum != propertyChecksum(pr.idx)) {
+                   pr.checksum != propertyChecksum(pr.idx, pr.tenant)) {
             // A corrupt response must not poison the cache. It is
             // still forwarded: the requesting RIG unit detects the bad
             // checksum and NACK-refetches.
@@ -175,10 +214,11 @@ Switch::processMiddlePipe(Packet &&pkt, std::uint32_t in_port)
         } else if (pr.type == PrType::Response && !from_host &&
                    egress_host) {
             // A response entering the rack: remember it for neighbors.
+            PropertyCache &cache = cacheFor(pr, pipe);
             [[maybe_unused]] std::uint64_t evictionsBefore =
                 cache.evictions();
             [[maybe_unused]] bool written =
-                cache.insert(pr.idx, pr.checksum);
+                cache.insert(cacheKey(pr), pr.checksum);
             NS_TRACE(
                 if (written) tw.instant(
                     tw.track(name_),
@@ -201,7 +241,76 @@ Switch::forward(Packet &&pkt)
     ns_assert(p < out_.size() && out_[p], "bad egress port ", p, " on ",
               name_);
     ++forwarded_;
-    out_[p]->send(std::move(pkt));
+    if (!cfg_.fairQueue) {
+        out_[p]->send(std::move(pkt));
+        return;
+    }
+    OutPortFq &fq = fq_[p];
+    if (fq.queued == 0 && out_[p]->queueDelay() == 0) {
+        // Uncontended port: bypass the lanes so timing is identical to
+        // FIFO when there is nothing to arbitrate between.
+        out_[p]->send(std::move(pkt));
+        return;
+    }
+    fq.lanes[laneOf(pkt)].push_back(std::move(pkt));
+    ++fq.queued;
+    ++fqQueued_;
+    ++fqEnqueued_;
+    scheduleDrain(p);
+}
+
+void
+Switch::scheduleDrain(std::uint32_t p)
+{
+    OutPortFq &fq = fq_[p];
+    if (fq.drainScheduled || fq.queued == 0)
+        return;
+    fq.drainScheduled = true;
+    // Wake exactly when the wire frees: one packet leaves per drain
+    // event, so the link's busy-until chain never grows beyond one
+    // arbitrated packet and the lanes keep their backlog.
+    eq_.scheduleIn(out_[p]->queueDelay(), [this, p] { drainPort(p); });
+}
+
+void
+Switch::drainPort(std::uint32_t p)
+{
+    OutPortFq &fq = fq_[p];
+    fq.drainScheduled = false;
+    if (fq.queued == 0)
+        return;
+    std::uint32_t lanes = static_cast<std::uint32_t>(fq.lanes.size());
+    // Deficit round robin, quantum = MTU: since no packet exceeds the
+    // MTU, one full pass over the lanes always releases a packet -
+    // bound the scan accordingly.
+    std::uint32_t scanned = 0;
+    for (;;) {
+        ns_assert(scanned++ <= 2 * lanes,
+                  "DRR failed to release a packet on ", name_);
+        auto &lane = fq.lanes[fq.rr];
+        if (lane.empty()) {
+            // An idle lane forfeits its deficit (standard DRR).
+            fq.deficit[fq.rr] = 0;
+            fq.rr = (fq.rr + 1) % lanes;
+            continue;
+        }
+        auto wire = static_cast<std::int64_t>(
+            lane.front().wireBytes(cfg_.proto));
+        if (fq.deficit[fq.rr] < wire) {
+            fq.deficit[fq.rr] +=
+                static_cast<std::int64_t>(cfg_.proto.mtuBytes);
+            fq.rr = (fq.rr + 1) % lanes;
+            continue;
+        }
+        fq.deficit[fq.rr] -= wire;
+        Packet pkt = std::move(lane.front());
+        lane.pop_front();
+        --fq.queued;
+        --fqQueued_;
+        out_[p]->send(std::move(pkt));
+        break;
+    }
+    scheduleDrain(p);
 }
 
 std::uint64_t
@@ -245,10 +354,17 @@ Switch::exportStats(StatRegistry &reg, const std::string &prefix) const
 {
     reg.set(prefix + ".packetsForwarded",
             static_cast<double>(forwarded_));
+    if (cfg_.fairQueue)
+        reg.set(prefix + ".fq.enqueued",
+                static_cast<double>(fqEnqueued_));
     if (!cfg_.netsparseEnabled)
         return;
     reg.set(prefix + ".prsServedByCache",
             static_cast<double>(servedByCache_));
+    for (std::size_t t = 0; t < servedByCacheTenant_.size(); ++t)
+        reg.set(prefix + ".tenant" + std::to_string(t) +
+                    ".prsServedByCache",
+                static_cast<double>(servedByCacheTenant_[t]));
     if (cfg_.verifyResponses) {
         // Resilience keys exist only when fault handling is on, so a
         // zero-fault run's document is unchanged.
@@ -260,10 +376,13 @@ Switch::exportStats(StatRegistry &reg, const std::string &prefix) const
     if (caches_.size() == 1) {
         caches_[0]->exportStats(reg, prefix + ".cache");
     } else {
-        // Per-pipe caches: export each slice and the aggregate counters.
+        // Sliced caches (per pipe or per tenant): export each slice
+        // and the aggregate counters.
+        const char *slice =
+            cfg_.tenantCachePartitioned ? ".tenant" : ".pipe";
         for (std::size_t p = 0; p < caches_.size(); ++p)
             caches_[p]->exportStats(
-                reg, prefix + ".pipe" + std::to_string(p) + ".cache");
+                reg, prefix + slice + std::to_string(p) + ".cache");
         reg.set(prefix + ".cache.lookups",
                 static_cast<double>(cacheLookups()));
         reg.set(prefix + ".cache.hits",

@@ -34,6 +34,7 @@
 #ifndef NETSPARSE_NET_SWITCH_HH
 #define NETSPARSE_NET_SWITCH_HH
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -73,6 +74,28 @@ struct SwitchConfig
      * lossless fast path stays untouched.
      */
     bool verifyResponses = false;
+    /**
+     * Concurrent tenants (jobs) sharing this switch. More than one
+     * tenant-qualifies every Property Cache key (the same idx names
+     * different data per tenant) and sizes the fair-queueing lanes and
+     * per-tenant counters. 1 (the default) keeps the single-job fast
+     * path - and its stats document - untouched.
+     */
+    std::uint32_t numTenants = 1;
+    /**
+     * Partition the cache budget into per-tenant slices of
+     * totalBytes / numTenants (isolation) instead of one shared array
+     * (statistical multiplexing). Requires numTenants > 1; mutually
+     * exclusive with cachePerPipe.
+     */
+    bool tenantCachePartitioned = false;
+    /**
+     * Deficit-round-robin fair queueing at the output ports, one lane
+     * per tenant plus one for raw background traffic, quantum = MTU.
+     * Default FIFO: packets go straight to the output link's busy-until
+     * chain in arrival order, exactly the pre-QoS behaviour.
+     */
+    bool fairQueue = false;
 };
 
 /** One switch. */
@@ -126,6 +149,18 @@ class Switch : public PacketSink
     std::uint64_t cacheEvictions() const;
     std::uint64_t prsServedByCache() const { return servedByCache_; }
     std::uint64_t packetsForwarded() const { return forwarded_; }
+    /** Per-tenant slice of prsServedByCache (numTenants > 1 only). */
+    std::uint64_t
+    prsServedByCache(std::uint32_t tenant) const
+    {
+        return tenant < servedByCacheTenant_.size()
+                   ? servedByCacheTenant_[tenant]
+                   : 0;
+    }
+    /** Packets still waiting in fair-queueing lanes (diagnostics). */
+    std::uint64_t fqQueuedPackets() const { return fqQueued_; }
+    /** Packets that went through a fair-queueing lane (vs direct). */
+    std::uint64_t fqEnqueued() const { return fqEnqueued_; }
     /** Corrupt responses kept out of the cache (verifyResponses). */
     std::uint64_t poisonRejected() const { return poisonRejected_; }
     /** Reads that skipped the cache on the requester's demand. */
@@ -156,6 +191,30 @@ class Switch : public PacketSink
     {
         return port / cfg_.portsPerPipe;
     }
+    /** The cache array serving @p pr through middle pipe @p pipe. */
+    PropertyCache &cacheFor(const PropertyRequest &pr,
+                            std::uint32_t pipe);
+    /** Tenant-qualified Property Cache key (see SwitchConfig). */
+    PropIdx
+    cacheKey(const PropertyRequest &pr) const
+    {
+        if (cfg_.numTenants <= 1)
+            return pr.idx;
+        return pr.idx | (static_cast<PropIdx>(pr.tenant) << 40);
+    }
+    /** Fair-queueing lane of @p pkt (tenants, then raw traffic). */
+    std::uint32_t
+    laneOf(const Packet &pkt) const
+    {
+        if (pkt.rawBytes)
+            return cfg_.numTenants;
+        return pkt.tenant < cfg_.numTenants ? pkt.tenant
+                                            : cfg_.numTenants - 1;
+    }
+    /** One DRR arbitration step on output port @p p. */
+    void drainPort(std::uint32_t p);
+    /** Arm the drain event of port @p p if it is not armed. */
+    void scheduleDrain(std::uint32_t p);
 
     EventQueue &eq_;
     SwitchConfig cfg_;
@@ -175,6 +234,28 @@ class Switch : public PacketSink
     std::uint64_t forwarded_ = 0;
     std::uint64_t poisonRejected_ = 0;
     std::uint64_t cacheBypasses_ = 0;
+    /** Per-tenant cache-serve counters (sized when numTenants > 1). */
+    std::vector<std::uint64_t> servedByCacheTenant_;
+
+    /**
+     * Per-output-port deficit-round-robin arbiter (fairQueue only).
+     * Invariant: drainScheduled <=> some lane is nonempty. A packet
+     * arriving at an idle, lane-empty port is sent directly (identical
+     * timing to FIFO when uncontended); otherwise it waits in its lane
+     * and one packet leaves per drain event, re-armed at the output
+     * link's queueDelay so the wire never idles under backlog.
+     */
+    struct OutPortFq
+    {
+        std::vector<std::deque<Packet>> lanes;
+        std::vector<std::int64_t> deficit;
+        std::uint32_t rr = 0;
+        bool drainScheduled = false;
+        std::uint64_t queued = 0;
+    };
+    std::vector<OutPortFq> fq_;
+    std::uint64_t fqQueued_ = 0;
+    std::uint64_t fqEnqueued_ = 0;
 };
 
 } // namespace netsparse

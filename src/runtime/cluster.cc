@@ -1,16 +1,10 @@
 #include "runtime/cluster.hh"
 
 #include <algorithm>
-#include <memory>
 #include <vector>
 
-#include "runtime/shard_map.hh"
-#include "sim/arena.hh"
-#include "sim/event_queue.hh"
+#include "runtime/job_scheduler.hh"
 #include "sim/logging.hh"
-#include "sim/shard_engine.hh"
-#include "sim/stats_export.hh"
-#include "sim/telemetry.hh"
 
 namespace netsparse {
 
@@ -62,558 +56,16 @@ ClusterSim::runGather(const Csr &m, const Partition1D &part,
 GatherRunResult
 ClusterSim::runGather(GatherWorkload &&work, std::uint32_t k)
 {
-    const Partition1D &part = work.part;
-    ns_assert(part.numParts() == cfg_.numNodes,
-              "partition has ", part.numParts(), " parts for ",
-              cfg_.numNodes, " nodes");
-    ns_assert(work.streams.size() == cfg_.numNodes,
-              "workload has ", work.streams.size(), " streams for ",
-              cfg_.numNodes, " nodes");
-    ns_assert(work.numIdxs >= part.total(),
-              "property space smaller than the partition");
-    const std::uint32_t prop_bytes = 4 * k;
-
-    // --- Topology ---
-    Topology topo = [&] {
-        switch (cfg_.topology) {
-          case TopologyKind::LeafSpine: {
-            std::uint32_t racks =
-                (cfg_.numNodes + cfg_.nodesPerRack - 1) /
-                cfg_.nodesPerRack;
-            return Topology::leafSpine(racks, cfg_.nodesPerRack,
-                                       cfg_.numSpines);
-          }
-          case TopologyKind::HyperX:
-            // 4x4x2 switches, 4 hosts each, width-4 trunks (Section 9.6)
-            ns_assert(cfg_.numNodes == 128,
-                      "the HyperX configuration is 128 nodes");
-            return Topology::hyperX(4, 4, 2, 4, 4);
-          case TopologyKind::Dragonfly:
-            ns_assert(cfg_.numNodes == 128,
-                      "the Dragonfly configuration is 128 nodes");
-            return Topology::dragonfly(4, 8, 4, 4);
-        }
-        ns_panic("unknown topology kind");
-    }();
-    ns_assert(topo.numNodes() == cfg_.numNodes, "topology node mismatch");
-
-    // --- Shard map and per-shard event queues ---
-    // Rack-granular partition: a ToR plus its rack's hosts and SNICs
-    // share one queue; a zero-latency link would leave no lookahead,
-    // so such configurations fall back to a single shard.
-    std::uint32_t shard_request =
-        resolveShardCount(cfg_.simShards, topo.numTors());
-    if (cfg_.link.latency == 0)
-        shard_request = 1;
-    ShardMap shard_map = ShardMap::build(topo, shard_request);
-    const std::uint32_t num_shards = shard_map.numShards;
-
-    std::vector<std::unique_ptr<EventQueue>> queues;
-    queues.reserve(num_shards);
-    for (std::uint32_t s = 0; s < num_shards; ++s)
-        queues.push_back(std::make_unique<EventQueue>());
-    auto node_queue = [&](NodeId n) -> EventQueue & {
-        return *queues[shard_map.shardOfNode(n)];
-    };
-    auto switch_queue = [&](SwitchId s) -> EventQueue & {
-        return *queues[shard_map.shardOfSwitch(s)];
-    };
-
-    // --- SNICs ---
-    SnicConfig snic_cfg = cfg_.snic;
-    snic_cfg.proto = cfg_.proto;
-    snic_cfg.rigUnit.filterEnabled = cfg_.features.filter;
-    snic_cfg.rigUnit.coalesceEnabled = cfg_.features.coalesce;
-    Clock snic_clock(snic_cfg.rigUnit.clockHz);
-    snic_cfg.concat.proto = cfg_.proto;
-    snic_cfg.concat.enabled = cfg_.features.concatNic;
-    snic_cfg.concat.delay = snic_clock.cycles(cfg_.nicConcatDelayCycles);
-    snic_cfg.concat.virtualized = cfg_.virtualizedCqs;
-    // A lossy fabric needs the reliable-PR layer to terminate; the
-    // user may also enable it explicitly on a lossless one.
-    if (cfg_.faults.enabled())
-        snic_cfg.rigUnit.retry.enabled = true;
-    const bool recovery_enabled = snic_cfg.rigUnit.retry.enabled;
-
-    auto owner_of = [&part](PropIdx idx) {
-        return part.ownerOf(static_cast<std::uint32_t>(idx));
-    };
-
-    // Interval telemetry and the PR latency lifecycle share one gate:
-    // both cost nothing (no collectors, no stamping, a dead probe
-    // branch in the dispatch loop) unless the sink is enabled.
-    const bool telemetry_on =
-        TelemetrySink::instance().enabled() && cfg_.telemetryInterval > 0;
-
-    std::vector<std::unique_ptr<Snic>> snics;
-    snics.reserve(cfg_.numNodes);
-    for (NodeId nid = 0; nid < cfg_.numNodes; ++nid) {
-        snics.push_back(std::make_unique<Snic>(
-            node_queue(nid), snic_cfg, nid, owner_of, work.numIdxs,
-            "node" + std::to_string(nid) + ".snic"));
-        snics.back()->setOwnerPartition(part);
-        if (telemetry_on)
-            snics.back()->enablePrLatency();
-    }
-
-    // --- Switches ---
-    Clock switch_clock(cfg_.switchClockHz);
-    std::vector<std::unique_ptr<Switch>> switches;
-    switches.reserve(topo.numSwitches());
-    for (SwitchId sid = 0; sid < topo.numSwitches(); ++sid) {
-        SwitchConfig sw_cfg;
-        sw_cfg.proto = cfg_.proto;
-        sw_cfg.pipelineLatency = cfg_.switchPipelineLatency;
-        sw_cfg.pipeClockHz = cfg_.switchClockHz;
-        bool tor_extensions =
-            topo.isTor(sid) &&
-            (cfg_.features.concatSwitch || cfg_.features.switchCache);
-        sw_cfg.netsparseEnabled = tor_extensions;
-        sw_cfg.concat.proto = cfg_.proto;
-        sw_cfg.concat.enabled = cfg_.features.concatSwitch;
-        sw_cfg.concat.delay =
-            switch_clock.cycles(cfg_.switchConcatDelayCycles);
-        sw_cfg.concat.virtualized = cfg_.virtualizedCqs;
-        sw_cfg.cache = cfg_.cacheGeometry;
-        sw_cfg.cache.totalBytes =
-            cfg_.features.switchCache ? cfg_.propertyCacheBytes : 0;
-        sw_cfg.cachePerPipe = cfg_.cachePerPipe;
-        // Corrupt responses must not poison the rack caches.
-        sw_cfg.verifyResponses = cfg_.faults.enabled();
-        switches.push_back(std::make_unique<Switch>(
-            switch_queue(sid), sw_cfg, sid,
-            "switch" + std::to_string(sid)));
-    }
-    // Stats/telemetry identity of each switch ("tor<i>"/"spine<j>",
-    // numbered in construction order like the stats document).
-    std::vector<std::string> switch_names(topo.numSwitches());
-    {
-        std::uint32_t tors = 0, spines = 0;
-        for (SwitchId sid = 0; sid < topo.numSwitches(); ++sid)
-            switch_names[sid] =
-                topo.isTor(sid) ? "tor" + std::to_string(tors++)
-                                : "spine" + std::to_string(spines++);
-    }
-
-    // --- Links ---
-    // One directed link per (switch port, direction) plus one egress
-    // link per host NIC. Ordering ids are assigned in construction
-    // order - a per-run-deterministic numbering that forms the
-    // same-tick arrival tie-break at every sink, which is what keeps
-    // execution identical across shard counts.
-    //
-    // Cross-shard links (always switch-to-switch under the rack
-    // partition) deposit deliveries into per-(src, dst) shard
-    // mailboxes; their minimum latency is the engine's lookahead.
-    struct alignas(64) PaddedMailbox
-    {
-        DeliveryMailbox box; // padded: neighbors belong to other threads
-    };
-    std::vector<std::vector<PaddedMailbox>> mailboxes(num_shards);
-    for (auto &row : mailboxes)
-        row = std::vector<PaddedMailbox>(num_shards);
-    Tick lookahead = maxTick;
-    std::uint32_t next_link_id = 0;
-    std::vector<std::unique_ptr<Link>> links;
-    // links[i] is sampled by the shard whose events drive it: its
-    // sender's (telemetry registration below).
-    std::vector<std::uint32_t> link_shards;
-
-    auto bind_link = [&](Link &link, std::uint32_t src_shard,
-                         std::uint32_t dst_shard, Tick latency) {
-        link.setOrderingId(next_link_id++);
-        link_shards.push_back(src_shard);
-        // The injector keys its fault stream on the ordering id just
-        // assigned, so the injected pattern is shard-count-invariant.
-        if (cfg_.faults.enabled())
-            link.configureFaults(cfg_.faults);
-        // Fidelity after faults: the regime decision is per send, so a
-        // faulted link may still fast-forward its uncongested spans.
-        link.configureFidelity(cfg_.fidelity, cfg_.flow);
-        if (src_shard != dst_shard) {
-            link.setCrossShardOutbox(
-                &mailboxes[src_shard][dst_shard].box);
-            lookahead = std::min(lookahead, latency);
-        }
-    };
-
-    for (SwitchId sid = 0; sid < topo.numSwitches(); ++sid) {
-        const auto &ports = topo.ports(sid);
-        for (std::uint32_t p = 0; p < ports.size(); ++p) {
-            const PortPeer &peer = ports[p];
-            LinkConfig lc = cfg_.link;
-            lc.bandwidth = Bandwidth::fromGBps(
-                cfg_.link.bandwidth.bytesPerSecond() / 1e9 *
-                peer.bwMultiplier);
-            PacketSink *sink = nullptr;
-            std::uint32_t sink_port = 0;
-            std::uint32_t dst_shard = 0;
-            bool to_host = false;
-            if (peer.kind == PortPeer::Kind::Host) {
-                sink = snics[peer.id].get();
-                to_host = true;
-                dst_shard = shard_map.shardOfNode(peer.id);
-                ns_assert(dst_shard == shard_map.shardOfSwitch(sid),
-                          "host severed from its ToR by the partition");
-            } else {
-                sink = switches[peer.id].get();
-                sink_port = peer.peerPort;
-                dst_shard = shard_map.shardOfSwitch(peer.id);
-            }
-            links.push_back(std::make_unique<Link>(
-                switch_queue(sid), lc, cfg_.proto, sink, sink_port,
-                "sw" + std::to_string(sid) + ".p" + std::to_string(p)));
-            bind_link(*links.back(), shard_map.shardOfSwitch(sid),
-                      dst_shard, lc.latency);
-            switches[sid]->attachPort(p, links.back().get(), to_host);
-        }
-    }
-    // Host egress links (NIC -> ToR); always intra-shard.
-    std::vector<Link *> nic_egress(cfg_.numNodes);
-    for (NodeId nid = 0; nid < cfg_.numNodes; ++nid) {
-        SwitchId tor = topo.switchOf(nid);
-        links.push_back(std::make_unique<Link>(
-            node_queue(nid), cfg_.link, cfg_.proto, switches[tor].get(),
-            topo.hostPort(nid), "node" + std::to_string(nid) + ".tx"));
-        bind_link(*links.back(), shard_map.shardOfNode(nid),
-                  shard_map.shardOfSwitch(tor), cfg_.link.latency);
-        nic_egress[nid] = links.back().get();
-        snics[nid]->attachEgress(links.back().get());
-    }
-    ns_assert(num_shards == 1 || (lookahead > 0 && lookahead != maxTick),
-              "multi-shard run without a positive cross-shard latency");
-
-    // --- Routing and per-kernel configuration ---
-    for (SwitchId sid = 0; sid < topo.numSwitches(); ++sid) {
-        Switch *sw = switches[sid].get();
-        sw->setRouteFn([&topo, sid](NodeId dest) {
-            return topo.route(sid, dest);
-        });
-        sw->configureForKernel(prop_bytes);
-    }
-    for (auto &snic : snics)
-        snic->configureForKernel();
-
-    // --- Hosts ---
-    std::vector<std::unique_ptr<HostNode>> hosts;
-    hosts.reserve(cfg_.numNodes);
-    for (NodeId nid = 0; nid < cfg_.numNodes; ++nid) {
-        hosts.push_back(std::make_unique<HostNode>(
-            node_queue(nid), cfg_.host, *snics[nid],
-            std::move(work.streams[nid]), prop_bytes));
-    }
-    // Completion is read off HostNode::done() after the run; a shared
-    // counter would be written concurrently from several shards.
-    for (auto &h : hosts)
-        h->start([] {});
-
-    // --- Interval telemetry ---
-    // One probe per shard; every entity is registered on the shard
-    // whose events drive its state, under a cluster-wide order key
-    // (links by ordering id, then switches, then RIGs) so the merged
-    // document is independent of the shard count. Samplers read only
-    // their own entity, and boundary samples observe exactly the
-    // events with tick < boundary (sim/telemetry.hh), so every series
-    // is byte-identical at 1/2/4 shards.
-    const Tick tele_interval = cfg_.telemetryInterval;
-    std::vector<std::unique_ptr<TelemetryProbe>> probes;
-    if (telemetry_on) {
-        probes.reserve(num_shards);
-        for (std::uint32_t s = 0; s < num_shards; ++s) {
-            probes.push_back(
-                std::make_unique<TelemetryProbe>(tele_interval));
-            probes.back()->attachTo(*queues[s]);
-        }
-        const std::size_t num_links = links.size();
-        for (std::size_t i = 0; i < num_links; ++i) {
-            Link *lk = links[i].get();
-            probes[link_shards[i]]->addEntity(
-                i, lk->name(), "link", {"utilization", "queuedBytes"},
-                [lk, tele_interval, last_busy = Tick{0}](
-                    Tick boundary, std::vector<double> &out) mutable {
-                    // Wire time committed this interval over the
-                    // interval; a burst that books the wire past the
-                    // boundary can push it above 1 (the backlog then
-                    // shows up in queuedBytes).
-                    Tick busy = lk->busyTicks();
-                    out.push_back(static_cast<double>(busy - last_busy) /
-                                  static_cast<double>(tele_interval));
-                    last_busy = busy;
-                    out.push_back(lk->queuedBytesAt(boundary));
-                });
-        }
-        for (SwitchId sid = 0; sid < topo.numSwitches(); ++sid) {
-            Switch *sw = switches[sid].get();
-            probes[shard_map.shardOfSwitch(sid)]->addEntity(
-                num_links + sid, switch_names[sid], "switch",
-                {"outQueueBytes", "cacheHits", "cacheMisses",
-                 "cacheInserts"},
-                [sw, last_hits = std::uint64_t{0},
-                 last_lookups = std::uint64_t{0},
-                 last_inserts = std::uint64_t{0}](
-                    Tick boundary, std::vector<double> &out) mutable {
-                    double backlog = 0.0;
-                    for (const Link *l : sw->outLinks())
-                        backlog += l->queuedBytesAt(boundary);
-                    out.push_back(backlog);
-                    std::uint64_t hits = sw->cacheHits();
-                    std::uint64_t lookups = sw->cacheLookups();
-                    std::uint64_t inserts = sw->cacheInserts();
-                    out.push_back(
-                        static_cast<double>(hits - last_hits));
-                    out.push_back(static_cast<double>(
-                        (lookups - last_lookups) - (hits - last_hits)));
-                    out.push_back(
-                        static_cast<double>(inserts - last_inserts));
-                    last_hits = hits;
-                    last_lookups = lookups;
-                    last_inserts = inserts;
-                });
-        }
-        for (NodeId nid = 0; nid < cfg_.numNodes; ++nid) {
-            Snic *sn = snics[nid].get();
-            probes[shard_map.shardOfNode(nid)]->addEntity(
-                num_links + topo.numSwitches() + nid,
-                "node" + std::to_string(nid) + ".rig", "rig",
-                {"inflightPrs", "retransmits"},
-                [sn, last_retx = std::uint64_t{0}](
-                    Tick, std::vector<double> &out) mutable {
-                    out.push_back(
-                        static_cast<double>(sn->inflightPrs()));
-                    std::uint64_t retx = sn->totalRetransmits();
-                    out.push_back(static_cast<double>(retx - last_retx));
-                    last_retx = retx;
-                });
-        }
-    }
-
-    // --- Run ---
-    Tick final_tick = 0;
-    std::uint64_t executed_events = 0;
-    std::uint64_t epochs = 0;
-    if (num_shards == 1) {
-        queues[0]->runUntil(cfg_.maxSimTime);
-        final_tick = queues[0]->now();
-        executed_events = queues[0]->executedEvents();
-    } else {
-        std::vector<ShardEngine::Shard> shards(num_shards);
-        for (std::uint32_t d = 0; d < num_shards; ++d) {
-            shards[d].eq = queues[d].get();
-            // Drain inbound mailboxes in fixed source order; the
-            // banded delivery keys then restore the canonical event
-            // order inside the destination queue.
-            shards[d].drainInbox = [&mailboxes, &queues, d,
-                                    num_shards] {
-                EventQueue &dst = *queues[d];
-                for (std::uint32_t s = 0; s < num_shards; ++s) {
-                    mailboxes[s][d].box.drain(
-                        [&dst](PendingDelivery &&rec) {
-                            dst.scheduleDelivery(
-                                rec.when, rec.key,
-                                [sink = rec.sink, port = rec.port,
-                                 fused = rec.fused,
-                                 p = std::move(rec.pkt)]() mutable {
-                                    if (fused)
-                                        sink->fusedDeliver(std::move(p),
-                                                           port);
-                                    else
-                                        sink->receivePacket(std::move(p),
-                                                            port);
-                                });
-                        });
-                }
-            };
-        }
-        ShardEngine::Result res =
-            ShardEngine::run(std::move(shards), lookahead,
-                             cfg_.maxSimTime);
-        final_tick = res.finalTick;
-        executed_events = res.executedEvents;
-        epochs = res.epochs;
-    }
-    std::uint32_t done_count = 0;
-    for (const auto &h : hosts)
-        done_count += h->done() ? 1 : 0;
-    if (done_count != cfg_.numNodes) {
-        ns_fatal("gather deadlocked or exceeded the simulation cap: ",
-                 done_count, "/", cfg_.numNodes, " nodes finished by ",
-                 ticks::toNs(final_tick), " ns");
-    }
-
-    // --- Merge telemetry ---
-    if (telemetry_on) {
-        // Boundaries past each shard's last event never fired in the
-        // dispatch loop; sample them against the global final tick so
-        // every probe ends with the same timeline.
-        for (auto &p : probes)
-            p->flushUntil(final_tick);
-        const std::size_t samples = probes[0]->numSamples();
-        for (const auto &p : probes)
-            ns_assert(p->numSamples() == samples,
-                      "telemetry probes disagree on the sample count");
-        TelemetrySink::Run &trun = TelemetrySink::instance().beginRun();
-        trun.intervalTicks = tele_interval;
-        trun.finalTick = final_tick;
-        trun.sampleTicks.reserve(samples);
-        for (std::size_t i = 1; i <= samples; ++i)
-            trun.sampleTicks.push_back(i * tele_interval);
-        for (auto &p : probes)
-            for (auto &e : p->takeEntities())
-                trun.entities.push_back(std::move(e));
-        std::sort(trun.entities.begin(), trun.entities.end(),
-                  [](const TelemetryEntity &a, const TelemetryEntity &b) {
-                      return a.order < b.order;
-                  });
-        // Per-shard event throughput is the one inherently
-        // shard-dependent series; the document carries the cluster-wide
-        // sum as a single trailing "sim" entity (exact: the counts are
-        // integers far below 2^53).
-        TelemetryEntity sim;
-        sim.order = links.size() + topo.numSwitches() + cfg_.numNodes;
-        sim.id = "sim";
-        sim.kind = "sim";
-        sim.seriesNames = {"events"};
-        sim.series.emplace_back(samples, 0.0);
-        for (const auto &p : probes) {
-            const auto &ev = p->eventsPerInterval();
-            for (std::size_t i = 0; i < samples; ++i)
-                sim.series[0][i] += ev[i];
-        }
-        trun.entities.push_back(std::move(sim));
-    }
-
-    // --- Collect results ---
-    GatherRunResult r;
-    r.nodes.resize(cfg_.numNodes);
-    std::uint64_t total_rx_prs = 0, total_rx_packets = 0;
-    for (NodeId nid = 0; nid < cfg_.numNodes; ++nid) {
-        NodeRunStats &st = r.nodes[nid];
-        st.finishTick = hosts[nid]->finishTick();
-        RigClientStats cs = snics[nid]->aggregateClientStats();
-        st.idxsProcessed = cs.idxsProcessed;
-        st.localIdxs = cs.localIdxs;
-        st.prsIssued = cs.prsIssued;
-        st.filtered = cs.filtered;
-        st.coalesced = cs.coalesced;
-        st.watchdogFailures = cs.watchdogFailures;
-        st.pendingStalls = cs.pendingStalls;
-        st.txStalls = cs.txStalls;
-        st.commandsIssued = hosts[nid]->commandsIssued();
-        st.retransmits = cs.retransmits;
-        st.nacks = cs.nacks;
-        st.corruptDropped = cs.corruptDropped;
-        st.duplicatesSuppressed = cs.duplicatesSuppressed;
-        st.retriesExhausted = cs.retriesExhausted;
-        st.commandRetries = hosts[nid]->commandRetries();
-        st.permanentFailures = hosts[nid]->permanentFailures();
-        st.rxPackets = snics[nid]->rxPackets();
-        st.rxBytes = snics[nid]->rxBytes();
-        st.rxPayloadBytes = snics[nid]->rxPayloadBytes();
-        st.rxResponses = snics[nid]->rxResponses();
-        st.rxReads = snics[nid]->rxReads();
-        total_rx_prs += st.rxResponses + st.rxReads;
-        total_rx_packets += st.rxPackets;
-        if (st.finishTick > r.commTicks) {
-            r.commTicks = st.finishTick;
-            r.tailNode = nid;
-        }
-    }
-    r.recoveryEnabled = recovery_enabled;
-    r.faultsEnabled = cfg_.faults.enabled();
-    r.fidelity = cfg_.fidelity;
-    for (const auto &l : links) {
-        r.totalWireBytes += l->bytesSent();
-        r.packetsDropped += l->packetsDropped();
-        r.flowPackets += l->flowPackets();
-        r.flowDemotions += l->flowDemotions();
-        if (const LinkFaultInjector *fi = l->faults()) {
-            r.corruptedPrs += fi->stats().corruptedPrs;
-            r.linkDownDrops += fi->stats().linkDownDrops;
-            r.linkDownTicks += fi->stats().linkDownTicks;
-            r.degradedTicks += fi->stats().degradedTicks;
-        }
-    }
-    for (const auto &sw : switches) {
-        r.cacheLookups += sw->cacheLookups();
-        r.cacheHits += sw->cacheHits();
-        r.prsServedByCache += sw->prsServedByCache();
-        r.cachePoisonRejected += sw->poisonRejected();
-        r.cacheBypasses += sw->cacheBypasses();
-    }
-    r.avgPrsPerPacket =
-        total_rx_packets ? static_cast<double>(total_rx_prs) /
-                               total_rx_packets
-                         : 0.0;
-    r.executedEvents = executed_events;
-    r.finalTick = final_tick;
-    r.simShards = num_shards;
-    r.lookaheadTicks = num_shards > 1 ? lookahead : 0;
-    r.epochs = epochs;
-    if (r.commTicks > 0) {
-        double line_bpp = cfg_.link.bandwidth.bytesPerPs();
-        const NodeRunStats &tail = r.tail();
-        r.tailLineUtil = static_cast<double>(tail.rxBytes) /
-                         (static_cast<double>(r.commTicks) * line_bpp);
-        r.tailGoodput = static_cast<double>(tail.rxPayloadBytes) /
-                        (static_cast<double>(r.commTicks) * line_bpp);
-    }
-
-    // --- Detailed observability snapshot (--stats-json) ---
-    // Deposited while the components are still alive, so the snapshot
-    // carries per-RIG-unit, per-concatenator and per-switch-cache
-    // counters that GatherRunResult does not retain.
-    if (StatsExport::instance().enabled()) {
-        StatRegistry &reg = StatsExport::instance().beginRun();
-        r.exportStats(reg);
-        for (NodeId nid = 0; nid < cfg_.numNodes; ++nid) {
-            std::string node = "node" + std::to_string(nid);
-            snics[nid]->exportStats(reg, node + ".snic");
-            const Link *tx = nic_egress[nid];
-            reg.set(node + ".tx.packets",
-                    static_cast<double>(tx->packetsSent()));
-            reg.set(node + ".tx.bytes",
-                    static_cast<double>(tx->bytesSent()));
-            reg.set(node + ".tx.payloadBytes",
-                    static_cast<double>(tx->payloadBytesSent()));
-            reg.set(node + ".tx.busyTicks",
-                    static_cast<double>(tx->busyTicks()));
-            reg.set(node + ".tx.utilization", tx->utilization());
-        }
-        for (SwitchId sid = 0; sid < topo.numSwitches(); ++sid)
-            switches[sid]->exportStats(reg, switch_names[sid]);
-        reg.set("sim.executedEvents",
-                static_cast<double>(executed_events));
-        reg.set("sim.finalTick", static_cast<double>(final_tick));
-        if (telemetry_on) {
-            // Cluster-wide PR latency decomposition; per-node averages
-            // ride each SNIC's own exportStats above. Gated so the
-            // telemetry-off document stays byte-identical.
-            PrLatencyStats agg;
-            for (const auto &sn : snics)
-                agg.merge(*sn->prLatency());
-            agg.exportStats(reg, "cluster.prLatency");
-        }
-        if (cfg_.memoryStats) {
-            // Per-shard arena accounting (sim/arena.hh). Shard workers
-            // were joined above, so their arenas have flushed into the
-            // registry; fold in the calling thread's live arenas (the
-            // sequential engine's buffers live here). Gated: these are
-            // process-lifetime host diagnostics, outside the
-            // byte-identical stats contract (see ClusterConfig).
-            ArenaStats mem = ArenaStatsRegistry::instance().totals();
-            mem.add(BufferArena<Packet>::local().stats());
-            mem.add(BufferArena<PropertyRequest>::local().stats());
-            reg.set("cluster.memory.arenaReservedBytes",
-                    static_cast<double>(mem.reservedBytes));
-            reg.set("cluster.memory.arenaHighWaterBytes",
-                    static_cast<double>(mem.highWaterBytes));
-            reg.set("cluster.memory.arenaPoolHits",
-                    static_cast<double>(mem.poolHits));
-            reg.set("cluster.memory.arenaPoolMisses",
-                    static_cast<double>(mem.poolMisses));
-        }
-    }
-    return r;
+    // The single-job cluster is the degenerate schedule: one tenant,
+    // no background traffic. The scheduler takes the exact legacy
+    // construction path for it (runtime/job_scheduler.hh), so the
+    // result and every observability document are unchanged.
+    JobScheduler sched(cfg_);
+    std::vector<JobSpec> jobs(1);
+    jobs[0].work = std::move(work);
+    jobs[0].k = k;
+    MultiJobResult mr = sched.run(std::move(jobs));
+    return std::move(mr.jobs[0]);
 }
 
 void

@@ -67,6 +67,15 @@ struct ClusterConfig
     PropertyCacheConfig cacheGeometry;              // sizes filled below
     /** Strictly per-pipe caches (Figure 8) vs one shared array. */
     bool cachePerPipe = false;
+    /**
+     * Multi-tenant QoS (runtime/job_scheduler.hh). fairQueue arms
+     * deficit-round-robin per-tenant lanes at every switch output
+     * port; tenantCachePartitioned slices each ToR cache budget into
+     * equal per-tenant partitions (only meaningful with > 1 job).
+     * Both default off: FIFO output queues and one shared array.
+     */
+    bool fairQueue = false;
+    bool tenantCachePartitioned = false;
 
     FeatureSet features;
     /** Use the Section 7.2 virtualized-CQ concatenators. */

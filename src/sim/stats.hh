@@ -98,8 +98,15 @@ class Average
 class Histogram
 {
   public:
+    /**
+     * Degenerate geometries are repaired rather than trusted: zero
+     * buckets would divide by zero in percentile() (and underflow the
+     * bucket index in sample()), and hi <= lo would make every bucket
+     * width negative - both become a single bucket of width >= 1.
+     */
     Histogram(double lo, double hi, std::size_t buckets)
-        : lo_(lo), hi_(hi), counts_(buckets + 2, 0)
+        : lo_(lo), hi_(hi < lo + 1.0 ? lo + 1.0 : hi),
+          counts_((buckets < 1 ? 1 : buckets) + 2, 0)
     {}
 
     void sample(double v);

@@ -219,7 +219,7 @@ RigClientUnit::onResponse(const PropertyRequest &pr)
             ++stats_.duplicatesSuppressed;
             return;
         }
-        if (pr.checksum != propertyChecksum(pr.idx)) {
+        if (pr.checksum != propertyChecksum(pr.idx, pr.tenant)) {
             // Corrupt payload: drop it and NACK-refetch from the home
             // node, bypassing the Property Cache so a poisoned entry
             // cannot serve the refetch. Counts against the budget.
@@ -256,7 +256,7 @@ RigClientUnit::onResponse(const PropertyRequest &pr)
     if (!cfg_.retry.enabled) {
         // The lossless fabric never corrupts; anything else is a
         // simulator bug.
-        ns_assert(pr.checksum == propertyChecksum(pr.idx),
+        ns_assert(pr.checksum == propertyChecksum(pr.idx, pr.tenant),
                   "corrupt property for idx ", pr.idx);
     }
 
@@ -285,6 +285,7 @@ RigClientUnit::sendReadPr(std::uint32_t reqId, PropIdx idx, NodeId dest,
     pr.type = PrType::Read;
     pr.src = ctx_.selfNode();
     pr.srcTid = tid_;
+    pr.tenant = ctx_.tenant();
     pr.idx = idx;
     pr.reqId = reqId;
     pr.propBytes = cmd_.propBytes;
@@ -410,7 +411,7 @@ RigServerUnit::prepareRead(PropertyRequest &pr)
 
     pr.type = PrType::Response;
     pr.payloadBytes = pr.propBytes;
-    pr.checksum = propertyChecksum(pr.idx);
+    pr.checksum = propertyChecksum(pr.idx, pr.tenant);
     pr.fetchTick = fetched;
     return fetched;
 }

@@ -111,6 +111,9 @@ class SnicContext
 
     /** This node's id. */
     virtual NodeId selfNode() const = 0;
+    /** Tenant (job) id this SNIC slice belongs to; 0 on single-job
+     *  runs (see PropertyRequest::tenant). */
+    virtual std::uint16_t tenant() const { return 0; }
     /** The home node of a property (the Destination Solver's answer). */
     virtual NodeId ownerOf(PropIdx idx) const = 0;
     /**

@@ -31,6 +31,13 @@ struct SnicConfig
 {
     /** Total RIG units; half run as clients, half as servers. */
     std::uint32_t numRigUnits = 32;
+    /**
+     * Tenant (job) id of this SNIC slice. A multi-job run instantiates
+     * one virtual SNIC per (node, tenant) sharing the node's physical
+     * NIC egress; the id is stamped on every PR the slice issues. 0 on
+     * single-job runs (the default document is unchanged).
+     */
+    std::uint16_t tenant = 0;
     RigUnitConfig rigUnit;
     /** NIC-level concatenation point. */
     ConcatConfig concat;
@@ -96,6 +103,7 @@ class Snic : public PacketSink, public SnicContext
     // --- SnicContext (services for the RIG units) ---
 
     NodeId selfNode() const override { return self_; }
+    std::uint16_t tenant() const override { return cfg_.tenant; }
     NodeId ownerOf(PropIdx idx) const override { return ownerOf_(idx); }
     const Partition1D *
     ownerPartition() const override
