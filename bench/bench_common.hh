@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/span.hh"
 #include "sim/stats_export.hh"
 #include "sim/sweep.hh"
 #include "sim/telemetry.hh"
@@ -32,11 +33,13 @@ namespace netsparse::bench {
  * accepts `--trace-out FILE` (Chrome-trace/Perfetto event trace),
  * `--stats-json FILE` (JSON snapshot of every cluster run's stats
  * registry, one "runs[]" entry per runGather) and `--telemetry-out
- * FILE` (interval-telemetry timeline). The environment variables
- * NETSPARSE_TRACE_OUT / NETSPARSE_STATS_JSON /
- * NETSPARSE_TELEMETRY_OUT are honored as fallbacks so CI can collect
- * artifacts without touching command lines. Outputs are finalized at
- * process exit. See docs/observability.md for the schemas.
+ * FILE` (interval-telemetry timeline) and `--spans-out FILE` (per-PR
+ * causal span trees at the default 1/64 sampling). The environment
+ * variables NETSPARSE_TRACE_OUT / NETSPARSE_STATS_JSON /
+ * NETSPARSE_TELEMETRY_OUT / NETSPARSE_SPANS_OUT are honored as
+ * fallbacks so CI can collect artifacts without touching command
+ * lines. Outputs are finalized at process exit. See
+ * docs/observability.md for the schemas.
  */
 inline void
 initObservability(int argc, char **argv)
@@ -44,6 +47,7 @@ initObservability(int argc, char **argv)
     const char *trace = std::getenv("NETSPARSE_TRACE_OUT");
     const char *stats = std::getenv("NETSPARSE_STATS_JSON");
     const char *telemetry = std::getenv("NETSPARSE_TELEMETRY_OUT");
+    const char *spans = std::getenv("NETSPARSE_SPANS_OUT");
     for (int i = 1; i + 1 < argc; ++i) {
         if (std::string(argv[i]) == "--trace-out")
             trace = argv[i + 1];
@@ -51,6 +55,8 @@ initObservability(int argc, char **argv)
             stats = argv[i + 1];
         else if (std::string(argv[i]) == "--telemetry-out")
             telemetry = argv[i + 1];
+        else if (std::string(argv[i]) == "--spans-out")
+            spans = argv[i + 1];
     }
     if (trace && *trace)
         TraceWriter::instance().open(trace);
@@ -58,6 +64,8 @@ initObservability(int argc, char **argv)
         StatsExport::instance().setOutputPath(stats);
     if (telemetry && *telemetry)
         TelemetrySink::instance().setOutputPath(telemetry);
+    if (spans && *spans)
+        SpanSink::instance().setOutputPath(spans);
 }
 
 /** Scale factor for benchmark matrices (env NETSPARSE_BENCH_SCALE). */

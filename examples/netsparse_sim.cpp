@@ -65,6 +65,16 @@
  *     --telemetry-interval US
  *                          sampling interval in simulated microseconds
  *                          (default 10)
+ *     --spans-out FILE     write per-PR causal span trees
+ *                          (netsparse-spans-v1; defaults to 1/64
+ *                          sampling when no span knob is given)
+ *     --span-sample N      trace 1 in N issued PRs (deterministic
+ *                          hash sampling; 0 disables sampling)
+ *     --span-tail-keep K   flight recorder: keep the K slowest spans
+ *                          of the run (records all PRs, prunes
+ *                          retroactively)
+ *     --span-tail-threshold-us US
+ *                          also keep every span slower than US
  */
 
 #include <cerrno>
@@ -76,6 +86,7 @@
 
 #include "runtime/cluster.hh"
 #include "runtime/job_scheduler.hh"
+#include "sim/span.hh"
 #include "sim/stats.hh"
 #include "sim/stats_export.hh"
 #include "sim/telemetry.hh"
@@ -112,7 +123,10 @@ usage(const char *argv0)
                  "[--cache-mode shared|partitioned]\n"
                  "  [--stats-json FILE] [--trace-out FILE] "
                  "[--telemetry-out FILE]\n"
-                 "  [--telemetry-interval US]\n",
+                 "  [--telemetry-interval US]\n"
+                 "  [--spans-out FILE] [--span-sample N] "
+                 "[--span-tail-keep K]\n"
+                 "  [--span-tail-threshold-us US]\n",
                  argv0);
     std::exit(2);
 }
@@ -161,6 +175,10 @@ main(int argc, char **argv)
     bool dump_stats = false;
     std::string stats_json, trace_out, faults_spec, telemetry_out;
     double telemetry_interval_us = 10.0;
+    std::string spans_out;
+    std::uint64_t span_sample = 0, span_tail_keep = 0;
+    double span_tail_threshold_us = 0.0;
+    bool span_knob = false;
     std::uint32_t num_jobs = 1;
     std::string background_spec, switch_queue = "fifo",
                 cache_mode = "shared";
@@ -227,6 +245,18 @@ main(int argc, char **argv)
             telemetry_out = next();
         else if (a == "--telemetry-interval")
             telemetry_interval_us = std::atof(next());
+        else if (a == "--spans-out")
+            spans_out = next();
+        else if (a == "--span-sample") {
+            span_sample = parseUint("--span-sample", next());
+            span_knob = true;
+        } else if (a == "--span-tail-keep") {
+            span_tail_keep = parseUint("--span-tail-keep", next());
+            span_knob = true;
+        } else if (a == "--span-tail-threshold-us") {
+            span_tail_threshold_us = std::atof(next());
+            span_knob = true;
+        }
         else if (a == "--jobs")
             num_jobs = static_cast<std::uint32_t>(
                 parseUint("--jobs", next()));
@@ -353,6 +383,26 @@ main(int argc, char **argv)
                      "--telemetry-interval\n");
         return 1;
     }
+    if (span_knob && spans_out.empty()) {
+        std::fprintf(stderr,
+                     "--span-sample/--span-tail-* need --spans-out\n");
+        return 1;
+    }
+    if (!spans_out.empty()) {
+        cfg.spans.sampleEvery = static_cast<std::uint32_t>(span_sample);
+        cfg.spans.tailKeep = static_cast<std::uint32_t>(span_tail_keep);
+        cfg.spans.tailThreshold = static_cast<Tick>(
+            span_tail_threshold_us * static_cast<double>(ticks::us));
+        // A bare --spans-out means "give me a representative sample".
+        if (!span_knob)
+            cfg.spans.sampleEvery = 64;
+        if (!cfg.spans.enabled()) {
+            std::fprintf(stderr,
+                         "--spans-out: all span knobs are zero; nothing "
+                         "would be recorded\n");
+            return 1;
+        }
+    }
 
     std::printf("netsparse_sim: %s (%llu x %llu, %llu nnz%s), %u nodes, "
                 "K=%u, %s\n",
@@ -378,6 +428,12 @@ main(int argc, char **argv)
         !TelemetrySink::instance().setOutputPath(telemetry_out)) {
         std::fprintf(stderr, "cannot open --telemetry-out output %s\n",
                      telemetry_out.c_str());
+        return 1;
+    }
+    if (!spans_out.empty() &&
+        !SpanSink::instance().setOutputPath(spans_out)) {
+        std::fprintf(stderr, "cannot open --spans-out output %s\n",
+                     spans_out.c_str());
         return 1;
     }
 
@@ -424,6 +480,7 @@ main(int argc, char **argv)
         TraceWriter::instance().close();
         StatsExport::instance().writeFile();
         TelemetrySink::instance().writeFile();
+        SpanSink::instance().writeFile();
 
         std::printf("\nmakespan           : %10.2f us  (%u jobs, %s "
                     "queues, %s cache)\n",
@@ -461,6 +518,7 @@ main(int argc, char **argv)
     TraceWriter::instance().close();
     StatsExport::instance().writeFile();
     TelemetrySink::instance().writeFile();
+    SpanSink::instance().writeFile();
 
     if (dump_stats) {
         StatRegistry reg;

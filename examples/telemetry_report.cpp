@@ -5,12 +5,16 @@
  * Consumes the netsparse-telemetry-v1 timeline written by
  * `netsparse_sim --telemetry-out` (and, optionally, the matching
  * `--stats-json` snapshot for the PR latency decomposition) and
- * prints saturated links and switches, phase boundaries, and the
- * dominant lifecycle stage. See docs/observability.md for the report
- * format.
+ * prints saturated links and switches, phase boundaries, the dominant
+ * lifecycle stage, and per-tenant slices on multi-tenant runs. With
+ * `--spans SPANS.json` (the `--spans-out` document) it also prints
+ * the critical-path breakdown of the tail exemplars and the makespan
+ * finishers. See docs/observability.md for the report format.
  *
  * Usage:
- *   telemetry_report TELEMETRY.json [STATS.json] [--run N]
+ *   telemetry_report TELEMETRY.json [STATS.json] [--spans SPANS.json]
+ *                    [--run N]
+ *   telemetry_report --spans SPANS.json [--run N]
  */
 
 #include <cstdio>
@@ -20,6 +24,7 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/critical_path.hh"
 #include "analysis/telemetry_report.hh"
 
 using namespace netsparse;
@@ -30,7 +35,8 @@ namespace {
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s TELEMETRY.json [STATS.json] [--run N]\n",
+                 "usage: %s [TELEMETRY.json [STATS.json]] "
+                 "[--spans SPANS.json] [--run N]\n",
                  argv0);
     std::exit(2);
 }
@@ -52,7 +58,7 @@ readFile(const std::string &path, std::string &out)
 int
 main(int argc, char **argv)
 {
-    std::string telemetry_path, stats_path;
+    std::string telemetry_path, stats_path, spans_path;
     std::size_t run_index = 0;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -60,6 +66,10 @@ main(int argc, char **argv)
             if (++i >= argc)
                 usage(argv[0]);
             run_index = static_cast<std::size_t>(std::atoi(argv[i]));
+        } else if (a == "--spans") {
+            if (++i >= argc)
+                usage(argv[0]);
+            spans_path = argv[i];
         } else if (telemetry_path.empty()) {
             telemetry_path = a;
         } else if (stats_path.empty()) {
@@ -68,31 +78,47 @@ main(int argc, char **argv)
             usage(argv[0]);
         }
     }
-    if (telemetry_path.empty())
+    if (telemetry_path.empty() && spans_path.empty())
         usage(argv[0]);
 
-    std::string text;
-    if (!readFile(telemetry_path, text)) {
-        std::fprintf(stderr, "cannot read %s\n", telemetry_path.c_str());
-        return 1;
-    }
     try {
-        jsonlite::Value telemetry = jsonlite::parse(text);
-        jsonlite::Value stats;
-        bool have_stats = false;
-        if (!stats_path.empty()) {
-            std::string stext;
-            if (!readFile(stats_path, stext)) {
+        if (!telemetry_path.empty()) {
+            std::string text;
+            if (!readFile(telemetry_path, text)) {
                 std::fprintf(stderr, "cannot read %s\n",
-                             stats_path.c_str());
+                             telemetry_path.c_str());
                 return 1;
             }
-            stats = jsonlite::parse(stext);
-            have_stats = true;
+            jsonlite::Value telemetry = jsonlite::parse(text);
+            jsonlite::Value stats;
+            bool have_stats = false;
+            if (!stats_path.empty()) {
+                std::string stext;
+                if (!readFile(stats_path, stext)) {
+                    std::fprintf(stderr, "cannot read %s\n",
+                                 stats_path.c_str());
+                    return 1;
+                }
+                stats = jsonlite::parse(stext);
+                have_stats = true;
+            }
+            TelemetryReport report = analyzeTelemetry(
+                telemetry, have_stats ? &stats : nullptr, run_index);
+            printTelemetryReport(report, std::cout);
         }
-        TelemetryReport report = analyzeTelemetry(
-            telemetry, have_stats ? &stats : nullptr, run_index);
-        printTelemetryReport(report, std::cout);
+        if (!spans_path.empty()) {
+            std::string stext;
+            if (!readFile(spans_path, stext)) {
+                std::fprintf(stderr, "cannot read %s\n",
+                             spans_path.c_str());
+                return 1;
+            }
+            jsonlite::Value spans = jsonlite::parse(stext);
+            if (!telemetry_path.empty())
+                std::cout << '\n';
+            SpanReport sreport = analyzeSpans(spans, run_index);
+            printSpanReport(sreport, std::cout);
+        }
     } catch (const std::exception &e) {
         std::fprintf(stderr, "telemetry_report: %s\n", e.what());
         return 1;

@@ -1,115 +1,26 @@
 #!/usr/bin/env python3
 """Validate a netsparse-telemetry-v1 document (stdlib only).
 
-Checks the structural contract documented in docs/observability.md:
-the schema tag, the per-run required fields, and that every entity
-series is a numeric array aligned to sampleTicks. Exits nonzero with
-one message per violation, so CI can gate on it:
+Kept for compatibility with existing CI wiring and docs: the checks
+live in validate_outputs.py, which schema-sniffs and also validates
+netsparse-spans-v1 documents. This wrapper pins the expected schema
+to telemetry, so pointing it at a spans file still fails loudly:
 
     python3 scripts/validate_telemetry.py telemetry.json
 """
 
-import json
 import sys
 
-SCHEMA = "netsparse-telemetry-v1"
-KINDS = {"link", "switch", "rig", "sim", "tenant"}
-
-
-def check(doc, errors):
-    if not isinstance(doc, dict):
-        errors.append("top level is not an object")
-        return
-    if doc.get("schema") != SCHEMA:
-        errors.append(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
-    runs = doc.get("runs")
-    if not isinstance(runs, list):
-        errors.append("runs is not an array")
-        return
-    for i, run in enumerate(runs):
-        where = f"runs[{i}]"
-        if not isinstance(run, dict):
-            errors.append(f"{where} is not an object")
-            continue
-        if run.get("run") != i:
-            errors.append(f"{where}.run is {run.get('run')!r}, want {i}")
-        if not isinstance(run.get("label"), str):
-            errors.append(f"{where}.label is not a string")
-        for field in ("intervalTicks", "finalTick"):
-            v = run.get(field)
-            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
-                errors.append(f"{where}.{field} is not a tick count")
-        ticks = run.get("sampleTicks")
-        if not isinstance(ticks, list) or not all(
-            isinstance(t, int) and not isinstance(t, bool) for t in ticks
-        ):
-            errors.append(f"{where}.sampleTicks is not an integer array")
-            continue
-        if ticks != sorted(ticks):
-            errors.append(f"{where}.sampleTicks is not sorted")
-        n = len(ticks)
-        entities = run.get("entities")
-        if not isinstance(entities, list):
-            errors.append(f"{where}.entities is not an array")
-            continue
-        seen_ids = set()
-        for j, ent in enumerate(entities):
-            ewhere = f"{where}.entities[{j}]"
-            if not isinstance(ent, dict):
-                errors.append(f"{ewhere} is not an object")
-                continue
-            eid = ent.get("id")
-            if not isinstance(eid, str) or not eid:
-                errors.append(f"{ewhere}.id is not a non-empty string")
-            elif eid in seen_ids:
-                errors.append(f"{ewhere}.id {eid!r} is duplicated")
-            else:
-                seen_ids.add(eid)
-            if ent.get("kind") not in KINDS:
-                errors.append(
-                    f"{ewhere}.kind is {ent.get('kind')!r}, "
-                    f"want one of {sorted(KINDS)}"
-                )
-            series = ent.get("series")
-            if not isinstance(series, dict):
-                errors.append(f"{ewhere}.series is not an object")
-                continue
-            for name, vals in series.items():
-                if not isinstance(vals, list) or not all(
-                    isinstance(v, (int, float)) and not isinstance(v, bool)
-                    for v in vals
-                ):
-                    errors.append(
-                        f"{ewhere}.series[{name!r}] is not a numeric array"
-                    )
-                elif len(vals) != n:
-                    errors.append(
-                        f"{ewhere}.series[{name!r}] has {len(vals)} "
-                        f"values for {n} sampleTicks"
-                    )
+from validate_outputs import TELEMETRY_SCHEMA, validate_file
 
 
 def main(argv):
     if len(argv) != 2:
         print(f"usage: {argv[0]} TELEMETRY.json", file=sys.stderr)
         return 2
-    try:
-        with open(argv[1]) as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"{argv[1]}: {e}", file=sys.stderr)
-        return 1
-    errors = []
-    check(doc, errors)
+    errors = validate_file(argv[1], want_schema=TELEMETRY_SCHEMA)
     for e in errors:
         print(f"{argv[1]}: {e}", file=sys.stderr)
-    if not errors:
-        runs = doc["runs"]
-        samples = sum(len(r["sampleTicks"]) for r in runs)
-        print(
-            f"{argv[1]}: valid {SCHEMA}: {len(runs)} run(s), "
-            f"{samples} sample(s)"
-        )
     return 1 if errors else 0
 
 

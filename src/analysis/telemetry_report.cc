@@ -75,6 +75,22 @@ analyzeTelemetry(const jsonlite::Value &telemetry,
     std::vector<double> sample_ticks = numbers(run.at("sampleTicks"));
     r.numSamples = sample_ticks.size();
 
+    // Link series are kept around after the overall ranking: the
+    // per-tenant ranking below re-scans them restricted to each
+    // tenant's active sample window.
+    struct LinkSeries
+    {
+        std::string id;
+        std::vector<double> util;
+    };
+    std::vector<LinkSeries> link_series;
+    struct TenantSeries
+    {
+        std::uint32_t tenant;
+        std::vector<double> inflight;
+    };
+    std::vector<TenantSeries> tenant_series;
+
     for (const auto &entity : run.at("entities").array) {
         const std::string &id = entity.at("id").string;
         const std::string &kind = entity.at("kind").string;
@@ -82,6 +98,7 @@ analyzeTelemetry(const jsonlite::Value &telemetry,
         if (kind == "link") {
             std::vector<double> util = numbers(ser.at("utilization"));
             std::vector<double> queued = numbers(ser.at("queuedBytes"));
+            link_series.push_back(LinkSeries{id, util});
             BottleneckEntry e;
             e.id = id;
             e.kind = kind;
@@ -117,6 +134,12 @@ analyzeTelemetry(const jsonlite::Value &telemetry,
             }
             if (e.peak > 0.0)
                 r.switches.push_back(std::move(e));
+        } else if (kind == "tenant" && id.rfind("tenant", 0) == 0) {
+            // Entity ids follow "tenant<t>" (job_scheduler.cc).
+            std::uint32_t t = static_cast<std::uint32_t>(
+                std::strtoul(id.c_str() + 6, nullptr, 10));
+            tenant_series.push_back(
+                TenantSeries{t, numbers(ser.at("inflightPrs"))});
         } else if (kind == "sim") {
             std::vector<double> events = numbers(ser.at("events"));
             for (std::size_t i = 1; i < events.size(); ++i) {
@@ -154,20 +177,18 @@ analyzeTelemetry(const jsonlite::Value &telemetry,
               });
 
     // --- PR latency stage attribution (needs the stats document) ---
-    if (stats) {
-        if (!stats->has("schema") ||
-            stats->at("schema").string != "netsparse-stats-v1")
-            throw std::runtime_error("not a netsparse-stats-v1 "
-                                     "document");
-        const jsonlite::Value &sreg =
-            stats->at("runs").at(runIndex).at("stats");
+    // The same extraction serves the cluster-wide decomposition and
+    // the per-tenant ones; only the key prefix differs
+    // ("cluster.prLatency." vs "cluster.tenant<t>.prLatency.").
+    auto stage_totals = [](const jsonlite::Value &sreg,
+                           const std::string &prefix) {
         static const char *stage_names[] = {
             "nicNs", "requestNetNs", "cacheNs", "remoteNs",
             "responseNetNs",
         };
+        std::vector<StageTotal> stages;
         for (const char *name : stage_names) {
-            std::string key =
-                std::string("cluster.prLatency.") + name;
+            std::string key = prefix + name;
             if (!sreg.has(key))
                 continue;
             const jsonlite::Value &hist = sreg.at(key);
@@ -183,14 +204,83 @@ analyzeTelemetry(const jsonlite::Value &telemetry,
                            ? sreg.at(key + ".p99").at("value").number
                            : 0.0;
             if (st.samples > 0)
-                r.stages.push_back(std::move(st));
+                stages.push_back(std::move(st));
         }
-        std::sort(r.stages.begin(), r.stages.end(),
+        std::sort(stages.begin(), stages.end(),
                   [](const StageTotal &a, const StageTotal &b) {
                       if (a.totalNs != b.totalNs)
                           return a.totalNs > b.totalNs;
                       return a.name < b.name;
                   });
+        return stages;
+    };
+    const jsonlite::Value *sreg = nullptr;
+    if (stats) {
+        if (!stats->has("schema") ||
+            stats->at("schema").string != "netsparse-stats-v1")
+            throw std::runtime_error("not a netsparse-stats-v1 "
+                                     "document");
+        sreg = &stats->at("runs").at(runIndex).at("stats");
+        r.stages = stage_totals(*sreg, "cluster.prLatency.");
+    }
+
+    // --- Per-tenant slices ---
+    std::sort(tenant_series.begin(), tenant_series.end(),
+              [](const TenantSeries &a, const TenantSeries &b) {
+                  return a.tenant < b.tenant;
+              });
+    for (const TenantSeries &ts : tenant_series) {
+        TenantReport tr;
+        tr.tenant = ts.tenant;
+        // Active sample window: [first, last] sample with PRs in
+        // flight. A tenant that never went in flight gets no report.
+        std::size_t lo = ts.inflight.size(), hi = 0;
+        for (std::size_t i = 0; i < ts.inflight.size(); ++i) {
+            if (ts.inflight[i] > 0.0) {
+                if (lo == ts.inflight.size())
+                    lo = i;
+                hi = i;
+            }
+        }
+        if (lo == ts.inflight.size())
+            continue;
+        tr.activeStart = static_cast<Tick>(sample_ticks[lo]);
+        tr.activeEnd = static_cast<Tick>(sample_ticks[hi]);
+        for (const LinkSeries &ls : link_series) {
+            BottleneckEntry e;
+            e.id = ls.id;
+            e.kind = "link";
+            std::size_t above = 0, window = 0;
+            for (std::size_t i = lo;
+                 i <= hi && i < ls.util.size(); ++i) {
+                ++window;
+                if (ls.util[i] >= 0.9)
+                    ++above;
+                if (ls.util[i] > e.peak) {
+                    e.peak = ls.util[i];
+                    e.peakTick = static_cast<Tick>(sample_ticks[i]);
+                }
+            }
+            e.fracAbove90 =
+                window == 0 ? 0.0
+                            : static_cast<double>(above) /
+                                  static_cast<double>(window);
+            if (e.peak > 0.0)
+                tr.links.push_back(std::move(e));
+        }
+        std::sort(tr.links.begin(), tr.links.end(),
+                  [](const BottleneckEntry &a, const BottleneckEntry &b) {
+                      if (a.fracAbove90 != b.fracAbove90)
+                          return a.fracAbove90 > b.fracAbove90;
+                      if (a.peak != b.peak)
+                          return a.peak > b.peak;
+                      return a.id < b.id;
+                  });
+        if (sreg)
+            tr.stages = stage_totals(
+                *sreg, "cluster.tenant" + std::to_string(ts.tenant) +
+                           ".prLatency.");
+        r.tenants.push_back(std::move(tr));
     }
     return r;
 }
@@ -268,6 +358,41 @@ printTelemetryReport(const TelemetryReport &r, std::ostream &os)
                       "\nmost utilized link: %s\n",
                       r.mostUtilizedLink().c_str());
         os << buf;
+    }
+
+    for (const auto &t : r.tenants) {
+        std::snprintf(buf, sizeof(buf),
+                      "\ntenant %u (active %.2f - %.2f us):\n", t.tenant,
+                      ticks::toNs(t.activeStart) / 1e3,
+                      ticks::toNs(t.activeEnd) / 1e3);
+        os << buf;
+        shown = 0;
+        for (const auto &e : t.links) {
+            if (shown++ >= 5)
+                break;
+            std::snprintf(buf, sizeof(buf),
+                          "  %-14s %5.1f%% of window saturated, peak "
+                          "%.2f at %.2f us\n",
+                          e.id.c_str(), 100.0 * e.fracAbove90, e.peak,
+                          ticks::toNs(e.peakTick) / 1e3);
+            os << buf;
+        }
+        if (t.links.empty())
+            os << "  (no link carried traffic in the window)\n";
+        for (const auto &st : t.stages) {
+            std::snprintf(buf, sizeof(buf),
+                          "  stage %-14s %12.0f ns total over %llu PRs "
+                          "(p99 %.0f ns)\n",
+                          st.name.c_str(), st.totalNs,
+                          static_cast<unsigned long long>(st.samples),
+                          st.p99Ns);
+            os << buf;
+        }
+        if (!t.stages.empty()) {
+            std::snprintf(buf, sizeof(buf), "  dominant stage: %s\n",
+                          t.dominantStage().c_str());
+            os << buf;
+        }
     }
 }
 

@@ -64,6 +64,32 @@ struct StageTotal
     double p99Ns = 0.0;
 };
 
+/**
+ * Per-tenant slice of the report (multi-tenant runs). The tenant's
+ * active window comes from its inflightPrs telemetry series; the
+ * link ranking is the saturation ranking restricted to that window,
+ * answering "which links were hot while this tenant ran", and the
+ * stage ranking joins the tenant's own cluster.tenant<t>.prLatency.*
+ * histograms from the stats document.
+ */
+struct TenantReport
+{
+    std::uint32_t tenant = 0;
+    /** First / last sample tick with PRs in flight. */
+    Tick activeStart = 0;
+    Tick activeEnd = 0;
+    /** Links ranked by time-above-90% within the active window. */
+    std::vector<BottleneckEntry> links;
+    /** Lifecycle stages ranked by aggregate time (needs stats). */
+    std::vector<StageTotal> stages;
+
+    std::string
+    dominantStage() const
+    {
+        return stages.empty() ? std::string() : stages.front().name;
+    }
+};
+
 /** The condensed report (see the file comment). */
 struct TelemetryReport
 {
@@ -81,6 +107,9 @@ struct TelemetryReport
     /** Lifecycle stages ranked by aggregate time; empty without a
      *  stats document (or when the run had no latency collectors). */
     std::vector<StageTotal> stages;
+
+    /** Per-tenant slices, in tenant order (multi-tenant runs only). */
+    std::vector<TenantReport> tenants;
 
     /** Convenience: ids of the top-ranked entries ("" when empty). */
     std::string mostUtilizedLink() const;

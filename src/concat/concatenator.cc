@@ -28,6 +28,7 @@ Concatenator::emitSolo(PropertyRequest &&pr, NodeId dest)
     pkt.type = pr.type;
     pkt.tenant = pr.tenant;
     pkt.concatenated = false;
+    pkt.spanned = pr.spanId != 0;
     pkt.prs = acquirePrBuffer(1);
     pkt.prs.push_back(std::move(pr));
     ++packetsEmitted_;
@@ -106,6 +107,7 @@ Concatenator::push(PropertyRequest &&pr, NodeId dest)
     }
 
     bool was_empty = cq.prs.empty();
+    cq.spanned |= pr.spanId != 0;
     cq.prs.push_back(std::move(pr));
     Tick now = eq_.now();
     if (was_empty)
@@ -167,6 +169,7 @@ Concatenator::flush(Cq &cq, [[maybe_unused]] const char *reason)
     pkt.type = cq.type;
     pkt.tenant = cq.prs.front().tenant;
     pkt.concatenated = true;
+    pkt.spanned = cq.spanned;
     // Steal cq.prs wholesale and hand the CQ a recycled buffer: packets
     // die at a deconcatenation point on this same thread, so the pool
     // feeds grown-to-size buffers back and steady-state refills never
@@ -200,6 +203,7 @@ Concatenator::flush(Cq &cq, [[maybe_unused]] const char *reason)
     cq.prs.clear();
     cq.enterSum = 0;
     cq.bytes = 0;
+    cq.spanned = false;
 
     emit_(std::move(pkt));
 }

@@ -112,6 +112,8 @@ class Concatenator
         std::uint32_t bytes = 0; // PR-layer bytes (headers + payloads)
         std::uint64_t generation = 0;
         bool armed = false; // an EQ entry (timer) is outstanding
+        /** Some waiting PR carries a span id (becomes Packet::spanned). */
+        bool spanned = false;
         NodeId dest = invalidNode;
         PrType type = PrType::Read;
         /**

@@ -2,6 +2,7 @@
 
 #include "sim/arena.hh"
 #include "sim/logging.hh"
+#include "sim/span.hh"
 #include "sim/trace.hh"
 
 namespace netsparse {
@@ -48,6 +49,19 @@ Link::send(Packet &&pkt)
         traceArgs({{"bytes", static_cast<double>(wire)},
                    {"prs", static_cast<double>(pkt.prs.size())},
                    {"dest", static_cast<double>(pkt.dest)}})));
+
+    if (pkt.spanned) {
+        // Wire occupancy of every traced PR aboard; recorded before the
+        // drop verdict because a dropped-then-retransmitted attempt
+        // really burned this wire time. Links use their cluster-wide
+        // ordering id as the span component id (the scheduler registers
+        // the name table in the same order).
+        if (SpanBuffer *sb = eq_.spans())
+            for (const auto &pr : pkt.prs)
+                if (pr.spanId != 0)
+                    sb->record(pr.spanId, SpanStage::LinkTx, orderingId_,
+                               start, ser, wire);
+    }
 
     if (verdict.dropOnWire) {
         // A dropped packet burns wire time (accounted above via

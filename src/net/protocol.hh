@@ -83,6 +83,16 @@ struct PropertyRequest
     Tick fetchTick = 0;
     /** The response was manufactured by a ToR Property Cache hit. */
     bool servedByCache = false;
+
+    /**
+     * Causal span id (sim/span.hh), assigned at issue time to PRs the
+     * span tracer records; 0 (the default) means "not traced". Like
+     * the lifecycle stamps it is simulation-side metadata with zero
+     * wire cost, and it survives the in-place read->response rewrite
+     * at the server or the ToR cache, so response-path hops attribute
+     * to the same span.
+     */
+    std::uint64_t spanId = 0;
 };
 
 /** Header-size and MTU parameters (paper Table 5 defaults). */
@@ -142,6 +152,13 @@ struct Packet
      * destination node. 0 for every protocol packet.
      */
     std::uint32_t rawBytes = 0;
+    /**
+     * True when at least one PR inside carries a span id. Set at the
+     * concatenation point that built the packet; links and switches
+     * test this single flag before scanning prs for span hops, so a
+     * run with spans disabled pays one always-false branch per packet.
+     */
+    bool spanned = false;
     std::vector<PropertyRequest> prs;
 
     /** Total bytes on the wire, headers included. */

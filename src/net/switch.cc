@@ -1,6 +1,7 @@
 #include "net/switch.hh"
 
 #include "sim/logging.hh"
+#include "sim/span.hh"
 #include "sim/trace.hh"
 
 namespace netsparse {
@@ -79,11 +80,30 @@ Switch::configureForKernel(std::uint32_t prop_bytes)
 }
 
 void
+Switch::recordPipeSpan(const Packet &pkt, Tick arrival, Tick delay,
+                       std::uint32_t inPort)
+{
+    // Identical events from the exact and fused delivery paths: both
+    // describe [arrival, arrival + pipe delay], so the regime a
+    // deterministic congestion detector picks never changes the span
+    // document.
+    SpanBuffer *sb = eq_.spans();
+    if (!sb)
+        return;
+    for (const auto &pr : pkt.prs)
+        if (pr.spanId != 0)
+            sb->record(pr.spanId, SpanStage::SwitchPipe, spanComp_,
+                       arrival, delay, inPort);
+}
+
+void
 Switch::receivePacket(Packet &&pkt, std::uint32_t in_port)
 {
     Tick delay = cfg_.pipelineLatency;
     if (cfg_.netsparseEnabled)
         delay += cacheLatency_;
+    if (pkt.spanned)
+        recordPipeSpan(pkt, eq_.now(), delay, in_port);
     NS_TRACE(tw.complete(
         tw.track(name_), "pipe", eq_.now(), eq_.now() + delay,
         traceArgs({{"prs", static_cast<double>(pkt.prs.size())},
@@ -107,6 +127,9 @@ Switch::fusedDeliver(Packet &&pkt, std::uint32_t in_port)
     // the pipe work. Account that elided event so executedEvents()
     // matches the exact path, and emit the same pipe span.
     eq_.addExecutedEvents(1);
+    if (pkt.spanned)
+        recordPipeSpan(pkt, eq_.now() - fusedIngressDelay(),
+                       fusedIngressDelay(), in_port);
     NS_TRACE(tw.complete(
         tw.track(name_), "pipe", eq_.now() - fusedIngressDelay(),
         eq_.now(),
@@ -173,6 +196,10 @@ Switch::processMiddlePipe(Packet &&pkt, std::uint32_t in_port)
             // authoritative home-node copy, not a possibly-poisoned
             // cached one.
             ++cacheBypasses_;
+            if (pr.spanId != 0)
+                if (SpanBuffer *sb = eq_.spans())
+                    sb->record(pr.spanId, SpanStage::CacheBypass,
+                               spanComp_, eq_.now(), 0, pr.idx);
             NS_TRACE(tw.instant(
                 tw.track(name_), "cache.bypass", eq_.now(),
                 traceArgs({{"idx", static_cast<double>(pr.idx)}})));
@@ -190,6 +217,10 @@ Switch::processMiddlePipe(Packet &&pkt, std::uint32_t in_port)
                     ++servedByCacheTenant_[pr.tenant < cfg_.numTenants
                                                ? pr.tenant
                                                : cfg_.numTenants - 1];
+                if (pr.spanId != 0)
+                    if (SpanBuffer *sb = eq_.spans())
+                        sb->record(pr.spanId, SpanStage::CacheHit,
+                                   spanComp_, eq_.now(), 0, pr.idx);
                 NS_TRACE(tw.instant(
                     tw.track(name_), "cache.hit", eq_.now(),
                     traceArgs(
@@ -198,6 +229,10 @@ Switch::processMiddlePipe(Packet &&pkt, std::uint32_t in_port)
                 concat.push(std::move(pr), back);
                 continue;
             }
+            if (pr.spanId != 0)
+                if (SpanBuffer *sb = eq_.spans())
+                    sb->record(pr.spanId, SpanStage::CacheMiss,
+                               spanComp_, eq_.now(), 0, pr.idx);
             NS_TRACE(tw.instant(
                 tw.track(name_), "cache.miss", eq_.now(),
                 traceArgs({{"idx", static_cast<double>(pr.idx)}})));

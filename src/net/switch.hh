@@ -177,6 +177,10 @@ class Switch : public PacketSink
     /** Attached output links in port order (telemetry samplers). */
     const std::vector<Link *> &outLinks() const { return out_; }
 
+    /** Set this switch's id in the run's span component name table
+     *  (sim/span.hh); assigned by the scheduler when spans are on. */
+    void setSpanComp(std::uint32_t comp) { spanComp_ = comp; }
+
     /** The middle-pipe Property Cache of pipe @p i (for tests). */
     PropertyCache &pipeCache(std::uint32_t i) { return *caches_[i]; }
     std::uint32_t numPipes() const
@@ -230,6 +234,12 @@ class Switch : public PacketSink
     std::vector<std::unique_ptr<Concatenator>> concats_;
     Tick cacheLatency_ = 0;
 
+    /** Record the pipe-crossing span event for a traced packet. */
+    void recordPipeSpan(const Packet &pkt, Tick arrival, Tick delay,
+                        std::uint32_t inPort);
+
+    /** Span component id (sim/span.hh); meaningful only when spans on. */
+    std::uint32_t spanComp_ = 0;
     std::uint64_t servedByCache_ = 0;
     std::uint64_t forwarded_ = 0;
     std::uint64_t poisonRejected_ = 0;

@@ -21,6 +21,7 @@
 #include "net/switch.hh"
 #include "net/topology.hh"
 #include "runtime/feature_set.hh"
+#include "sim/span.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 #include "snic/snic.hh"
@@ -135,6 +136,14 @@ struct ClusterConfig
      * collectors (net/pr_latency.hh).
      */
     Tick telemetryInterval = 10 * ticks::us;
+
+    /**
+     * Causal span tracing (sim/span.hh, --spans-out): 1/N sampling
+     * and/or tail-exemplar capture. Takes effect only when the SpanSink
+     * is enabled; the all-zero default records nothing and leaves every
+     * other output document byte-identical.
+     */
+    SpanParams spans;
 
     /** Simulation safety cap; exceeding it is a deadlock. */
     Tick maxSimTime = 60 * ticks::s;

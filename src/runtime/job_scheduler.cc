@@ -9,8 +9,10 @@
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "sim/shard_engine.hh"
+#include "sim/span.hh"
 #include "sim/stats_export.hh"
 #include "sim/telemetry.hh"
+#include "sim/trace.hh"
 
 namespace netsparse {
 
@@ -181,6 +183,26 @@ JobScheduler::run(std::vector<JobSpec> &&jobs,
     queues.reserve(num_shards);
     for (std::uint32_t s = 0; s < num_shards; ++s)
         queues.push_back(std::make_unique<EventQueue>());
+
+    // --- Span tracing (sim/span.hh) ---
+    // One recorder per shard, reached through the shard's own queue;
+    // the post-run merge restores one shard-count-invariant document.
+    // An enabled sink with all-zero params (the NETSPARSE_SPANS_OUT
+    // env path, where nothing touches ClusterConfig) falls back to the
+    // representative 1/64 sample, matching the CLI default.
+    const bool spans_on = SpanSink::instance().enabled();
+    SpanParams span_params = cfg_.spans;
+    if (spans_on && !span_params.enabled())
+        span_params.sampleEvery = 64;
+    std::vector<std::unique_ptr<SpanBuffer>> span_bufs;
+    if (spans_on) {
+        span_bufs.reserve(num_shards);
+        for (std::uint32_t s = 0; s < num_shards; ++s) {
+            span_bufs.push_back(
+                std::make_unique<SpanBuffer>(span_params));
+            queues[s]->setSpanBuffer(span_bufs.back().get());
+        }
+    }
     auto node_queue = [&](NodeId n) -> EventQueue & {
         return *queues[shard_map.shardOfNode(n)];
     };
@@ -203,6 +225,12 @@ JobScheduler::run(std::vector<JobSpec> &&jobs,
     // user may also enable it explicitly on a lossless one.
     if (cfg_.faults.enabled())
         snic_base.rigUnit.retry.enabled = true;
+    if (spans_on) {
+        snic_base.rigUnit.spanSampleThreshold =
+            span_params.sampleThreshold();
+        snic_base.rigUnit.spanRecordAll = span_params.recordAll();
+        snic_base.rigUnit.spanSeed = span_params.seed;
+    }
     const bool recovery_enabled = snic_base.rigUnit.retry.enabled;
 
     // Interval telemetry and the PR latency lifecycle share one gate:
@@ -391,6 +419,34 @@ JobScheduler::run(std::vector<JobSpec> &&jobs,
     }
     ns_assert(num_shards == 1 || (lookahead > 0 && lookahead != maxTick),
               "multi-shard run without a positive cross-shard latency");
+
+    // Span component id space, in cluster construction order: links by
+    // ordering id (link.cc records LinkTx under orderingId directly),
+    // then switches, then SNIC slices nid-major / tenant-minor. The
+    // name table ships inside the spans document so every component id
+    // resolves to its stats/telemetry identity.
+    std::vector<std::string> span_comps;
+    if (spans_on) {
+        span_comps.reserve(links.size() + topo.numSwitches() +
+                           snics.size());
+        for (const auto &l : links)
+            span_comps.push_back(l->name());
+        const auto L = static_cast<std::uint32_t>(links.size());
+        for (SwitchId sid = 0; sid < topo.numSwitches(); ++sid) {
+            switches[sid]->setSpanComp(L + sid);
+            span_comps.push_back(switch_names[sid]);
+        }
+        const auto S = static_cast<std::uint32_t>(topo.numSwitches());
+        for (NodeId nid = 0; nid < cfg_.numNodes; ++nid) {
+            for (std::uint32_t t = 0; t < T; ++t) {
+                Snic &sn = snic_at(nid, t);
+                sn.setSpanComp(L + S +
+                               static_cast<std::uint32_t>(
+                                   std::size_t{nid} * T + t));
+                span_comps.push_back(sn.name());
+            }
+        }
+    }
 
     // --- Routing and per-kernel configuration ---
     for (SwitchId sid = 0; sid < topo.numSwitches(); ++sid) {
@@ -618,6 +674,24 @@ JobScheduler::run(std::vector<JobSpec> &&jobs,
         ns_fatal("gather deadlocked or exceeded the simulation cap: ",
                  done_count, "/", cfg_.numNodes * T,
                  " hosts finished by ", ticks::toNs(final_tick), " ns");
+    }
+
+    // --- Merge spans ---
+    if (spans_on) {
+        std::vector<SpanBuffer *> bufs;
+        bufs.reserve(span_bufs.size());
+        for (auto &b : span_bufs)
+            bufs.push_back(b.get());
+        SpanRun &srun = SpanSink::instance().beginRun();
+        srun.params = span_params;
+        srun.fidelity = fidelityName(cfg_.fidelity);
+        srun.finalTick = final_tick;
+        srun.components = span_comps;
+        buildSpanRun(srun, bufs);
+        // Also render the kept spans as Perfetto async spans when a
+        // trace is being captured alongside.
+        if (NS_TRACE_ON())
+            exportSpansToTrace(TraceWriter::instance(), srun);
     }
 
     // --- Merge telemetry ---

@@ -51,6 +51,7 @@
 
 namespace netsparse {
 
+class SpanBuffer;
 class TelemetryProbe;
 
 /**
@@ -184,6 +185,18 @@ class EventQueue
         probeNext_ = probe ? firstBoundary : maxTick;
     }
 
+    /**
+     * Attach this queue's span recorder (sim/span.hh). Components
+     * reach it through spans(); null (the default) disables capture.
+     * Like the telemetry probe the buffer is per-queue, so under the
+     * sharded engine each shard records into its own buffer without
+     * synchronization.
+     */
+    void setSpanBuffer(SpanBuffer *spans) { spans_ = spans; }
+
+    /** The attached span recorder, or null when capture is off. */
+    SpanBuffer *spans() const { return spans_; }
+
   private:
     /** Ticks per wheel bucket, as a shift: 4096 ps (~4 ns). */
     static constexpr unsigned bucketShift = 12;
@@ -271,6 +284,8 @@ class EventQueue
 
     /** Attached telemetry probe (see attachProbe); usually null. */
     TelemetryProbe *probe_ = nullptr;
+    /** Attached span recorder (see setSpanBuffer); usually null. */
+    SpanBuffer *spans_ = nullptr;
     /** Next sample boundary; maxTick keeps the hook branch dead. */
     Tick probeNext_ = maxTick;
 };

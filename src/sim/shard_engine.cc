@@ -71,7 +71,10 @@ ShardEngine::run(std::vector<Shard> shards, Tick lookahead, Tick limit)
         TraceWriter shardTrace;
         std::unique_ptr<TraceWriter::Bind> traceBind;
         if (traceActive) {
-            shardTrace.open(tracePath + ".shard" + std::to_string(self));
+            // "dir/run.json" -> "dir/run.shard2.json": keep the
+            // extension last so trace viewers recognize the files.
+            shardTrace.open(TraceWriter::derivedPath(
+                tracePath, "shard" + std::to_string(self)));
             traceBind = std::make_unique<TraceWriter::Bind>(shardTrace);
         }
         EventQueue &eq = *shards[self].eq;

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "sim/logging.hh"
+#include "sim/span.hh"
 #include "sim/stats_export.hh"
 #include "sim/telemetry.hh"
 #include "sim/trace.hh"
@@ -48,15 +50,21 @@ SweepExecutor::run(std::size_t n,
     TelemetrySink &ambientTelemetry = TelemetrySink::instance();
     const bool collectTelemetry = ambientTelemetry.enabled();
 
+    SpanSink &ambientSpans = SpanSink::instance();
+    const bool collectSpans = ambientSpans.enabled();
+
     // Per-point sinks, absorbed in index order after the join so the
     // merged documents match a sequential sweep byte for byte.
     std::vector<std::unique_ptr<StatsExport>> pointStats(n);
     std::vector<std::unique_ptr<TelemetrySink>> pointTelemetry(n);
+    std::vector<std::unique_ptr<SpanSink>> pointSpans(n);
     for (std::size_t i = 0; i < n; ++i) {
         pointStats[i] = std::make_unique<StatsExport>();
         pointStats[i]->setCollect(collectStats);
         pointTelemetry[i] = std::make_unique<TelemetrySink>();
         pointTelemetry[i]->setCollect(collectTelemetry);
+        pointSpans[i] = std::make_unique<SpanSink>();
+        pointSpans[i]->setCollect(collectSpans);
     }
 
     std::atomic<std::size_t> next{0};
@@ -72,11 +80,20 @@ SweepExecutor::run(std::size_t n,
             try {
                 StatsExport::Bind statsBind(*pointStats[i]);
                 TelemetrySink::Bind telemetryBind(*pointTelemetry[i]);
+                SpanSink::Bind spanBind(*pointSpans[i]);
                 if (captureTrace) {
+                    // Event traces cannot be merged after the fact
+                    // (track ids collide), so each point writes its
+                    // own file: "dir/run.json" -> "dir/run.point3.json"
+                    // rather than the old "dir/run.json.point3", which
+                    // broke tooling expecting the extension last.
                     TraceWriter pointTrace;
                     TraceWriter::Bind traceBind(pointTrace);
-                    pointTrace.open(tracePath + ".point" +
-                                    std::to_string(i));
+                    std::string path = TraceWriter::derivedPath(
+                        tracePath, "point" + std::to_string(i));
+                    if (!pointTrace.open(path))
+                        ns_warn("sweep: cannot open per-point trace ",
+                                path, "; point ", i, " runs untraced");
                     point(i);
                     pointTrace.close();
                 } else {
@@ -108,6 +125,9 @@ SweepExecutor::run(std::size_t n,
     if (collectTelemetry)
         for (std::size_t i = 0; i < n; ++i)
             ambientTelemetry.absorb(std::move(*pointTelemetry[i]));
+    if (collectSpans)
+        for (std::size_t i = 0; i < n; ++i)
+            ambientSpans.absorb(std::move(*pointSpans[i]));
 }
 
 } // namespace netsparse

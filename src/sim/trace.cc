@@ -110,7 +110,8 @@ void
 TraceWriter::instant(std::uint32_t track, const char *name, Tick ts,
                      std::string args)
 {
-    events_.push_back(Event{ts, 0, 'i', track, name, std::move(args), 0});
+    events_.push_back(
+        Event{ts, 0, 'i', track, name, std::move(args), 0, 0});
 }
 
 void
@@ -118,15 +119,45 @@ TraceWriter::complete(std::uint32_t track, const char *name, Tick start,
                       Tick end, std::string args)
 {
     ns_assert(end >= start, "trace span ends before it starts: ", name);
-    events_.push_back(
-        Event{start, end - start, 'X', track, name, std::move(args), 0});
+    events_.push_back(Event{start, end - start, 'X', track, name,
+                            std::move(args), 0, 0});
 }
 
 void
 TraceWriter::counter(std::uint32_t track, const char *name, Tick ts,
                      double value)
 {
-    events_.push_back(Event{ts, 0, 'C', track, name, {}, value});
+    events_.push_back(Event{ts, 0, 'C', track, name, {}, value, 0});
+}
+
+void
+TraceWriter::asyncBegin(std::uint32_t track, const char *name,
+                        std::uint64_t id, Tick ts, std::string args)
+{
+    events_.push_back(
+        Event{ts, 0, 'b', track, name, std::move(args), 0, id});
+}
+
+void
+TraceWriter::asyncEnd(std::uint32_t track, const char *name,
+                      std::uint64_t id, Tick ts)
+{
+    events_.push_back(Event{ts, 0, 'e', track, name, {}, 0, id});
+}
+
+std::string
+TraceWriter::derivedPath(const std::string &base, const std::string &tag)
+{
+    // Insert ".<tag>" before the final extension of the last path
+    // component (never before a dot inside a directory name), so
+    // "out/trace.json" derives "out/trace.point3.json" and an
+    // extension-less base simply appends.
+    std::size_t slash = base.find_last_of("/\\");
+    std::size_t start = slash == std::string::npos ? 0 : slash + 1;
+    std::size_t dot = base.find_last_of('.');
+    if (dot == std::string::npos || dot <= start)
+        return base + "." + tag;
+    return base.substr(0, dot) + "." + tag + base.substr(dot);
 }
 
 void
@@ -158,6 +189,9 @@ TraceWriter::writeEvents(std::FILE *f)
             std::fprintf(f, ",\"dur\":%.6f", toTraceUs(e.dur));
         if (e.ph == 'i')
             std::fputs(",\"s\":\"t\"", f);
+        if (e.ph == 'b' || e.ph == 'e')
+            std::fprintf(f, ",\"cat\":\"span\",\"id\":\"0x%llx\"",
+                         static_cast<unsigned long long>(e.id));
         if (e.ph == 'C')
             std::fprintf(f, ",\"args\":{\"value\":%g}", e.value);
         else if (!e.args.empty())

@@ -117,19 +117,45 @@ class TraceWriter
     void counter(std::uint32_t track, const char *name, Tick ts,
                  double value);
 
+    /**
+     * Open an async span (Perfetto 'b' event). Async events with the
+     * same @p id nest into one stacked flow regardless of track order;
+     * the span tracer (sim/span.hh) uses the 64-bit span id. Must be
+     * paired with an asyncEnd of the same name and id.
+     */
+    void asyncBegin(std::uint32_t track, const char *name,
+                    std::uint64_t id, Tick ts, std::string args = {});
+
+    /** Close an async span (Perfetto 'e' event). */
+    void asyncEnd(std::uint32_t track, const char *name,
+                  std::uint64_t id, Tick ts);
+
     /** Events captured so far (for tests). */
     std::size_t eventCount() const { return events_.size(); }
+
+    /**
+     * Derive a sibling output path for a per-worker capture: inserts
+     * ".<tag>" before the final extension so directory components are
+     * honored and the file keeps a loadable suffix -
+     * derivedPath("out/trace.json", "point3") == "out/trace.point3.json",
+     * derivedPath("trace", "shard0") == "trace.shard0". Used for the
+     * parallel sweep's per-point traces and the sharded engine's
+     * per-shard traces (docs/observability.md).
+     */
+    static std::string derivedPath(const std::string &base,
+                                   const std::string &tag);
 
   private:
     struct Event
     {
         Tick ts;
         Tick dur;       // complete events only
-        char ph;        // 'i', 'X' or 'C'
+        char ph;        // 'i', 'X', 'C', 'b' or 'e'
         std::uint32_t tid;
         const char *name; // string literal owned by the caller
         std::string args;
-        double value; // counter events only
+        double value;     // counter events only
+        std::uint64_t id; // async events only
     };
 
     void writeEvents(std::FILE *f);

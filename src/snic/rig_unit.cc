@@ -5,6 +5,7 @@
 
 #include "net/pr_latency.hh"
 #include "sim/logging.hh"
+#include "sim/span.hh"
 #include "sim/trace.hh"
 
 namespace netsparse {
@@ -211,6 +212,7 @@ RigClientUnit::onResponse(const PropertyRequest &pr)
         return;
     }
 
+    std::uint32_t attempts = 0;
     if (cfg_.retry.enabled) {
         auto it = inflight_.find(pr.reqId);
         if (it == inflight_.end()) {
@@ -236,9 +238,11 @@ RigClientUnit::onResponse(const PropertyRequest &pr)
             it->second.deadline =
                 eq_.now() + retryDelay(it->second.attempts);
             armRetryTimer(it->second.deadline);
-            sendReadPr(pr.reqId, it->second.idx, it->second.dest, true);
+            sendReadPr(pr.reqId, it->second.idx, it->second.dest, true,
+                       it->second.attempts);
             return;
         }
+        attempts = it->second.attempts;
         inflight_.erase(it);
     }
 
@@ -252,6 +256,15 @@ RigClientUnit::onResponse(const PropertyRequest &pr)
     ++stats_.responses;
     if (PrLatencyStats *lat = ctx_.prLatency())
         lat->record(pr, eq_.now());
+    if (pr.spanId != 0) {
+        if (SpanBuffer *sb = eq_.spans()) {
+            sb->record(pr.spanId, SpanStage::Retire, ctx_.spanComp(),
+                       eq_.now());
+            sb->retire(SpanRetire{pr.spanId, pr.issueTick, eq_.now(),
+                                  pr.tenant, pr.src, pr.srcTid, pr.reqId,
+                                  pr.servedByCache, attempts});
+        }
+    }
 
     if (!cfg_.retry.enabled) {
         // The lossless fabric never corrupts; anything else is a
@@ -279,7 +292,7 @@ RigClientUnit::onResponse(const PropertyRequest &pr)
 
 void
 RigClientUnit::sendReadPr(std::uint32_t reqId, PropIdx idx, NodeId dest,
-                          bool bypassCache)
+                          bool bypassCache, std::uint32_t attempt)
 {
     PropertyRequest pr;
     pr.type = PrType::Read;
@@ -292,6 +305,22 @@ RigClientUnit::sendReadPr(std::uint32_t reqId, PropIdx idx, NodeId dest,
     pr.payloadBytes = 0;
     pr.bypassCache = bypassCache;
     pr.issueTick = eq_.now();
+    if (cfg_.spanRecordAll || cfg_.spanSampleThreshold != 0) {
+        // The id is a pure function of the PR's identity, so the same
+        // request computes the same id (and sampling decision) on every
+        // shard layout - and a retransmit reuses its original span.
+        std::uint64_t id =
+            spanIdFor(cfg_.spanSeed, pr.tenant, pr.src, tid_, reqId);
+        if (cfg_.spanRecordAll || id <= cfg_.spanSampleThreshold) {
+            pr.spanId = id;
+            if (SpanBuffer *sb = eq_.spans())
+                sb->record(id,
+                           attempt ? SpanStage::Retransmit
+                                   : SpanStage::Issue,
+                           ctx_.spanComp(), eq_.now(), 0,
+                           attempt ? attempt : idx);
+        }
+    }
     ctx_.sendPr(std::move(pr), dest);
 }
 
@@ -343,7 +372,8 @@ RigClientUnit::checkRetransmits()
         entry.deadline = now + retryDelay(entry.attempts);
         ++stats_.retransmits;
         NS_TRACE(tw.instant(traceTrack(), "pr.retransmit", eq_.now()));
-        sendReadPr(reqId, entry.idx, entry.dest, entry.bypassCache);
+        sendReadPr(reqId, entry.idx, entry.dest, entry.bypassCache,
+                   entry.attempts);
     }
     // Re-arm for the earliest remaining deadline.
     Tick earliest = 0;
@@ -413,6 +443,10 @@ RigServerUnit::prepareRead(PropertyRequest &pr)
     pr.payloadBytes = pr.propBytes;
     pr.checksum = propertyChecksum(pr.idx, pr.tenant);
     pr.fetchTick = fetched;
+    if (pr.spanId != 0)
+        if (SpanBuffer *sb = eq_.spans())
+            sb->record(pr.spanId, SpanStage::Fetch, ctx_.spanComp(),
+                       issue, fetched - issue, pr.propBytes);
     return fetched;
 }
 

@@ -87,6 +87,15 @@ struct RigUnitConfig
     Tick watchdogTimeout = 0;
     /** Reliable-PR retransmission layer (see RetryPolicy). */
     RetryPolicy retry;
+
+    // --- Span tracing (sim/span.hh); all-zero means capture is off and
+    // --- sendReadPr pays a single always-false test per issued PR.
+    /** Keep-if-below sampling threshold (SpanParams::sampleThreshold). */
+    std::uint64_t spanSampleThreshold = 0;
+    /** Assign a span id to every PR (tail-exemplar capture modes). */
+    bool spanRecordAll = false;
+    /** Sampling-hash seed (SpanParams::seed). */
+    std::uint64_t spanSeed = 0;
 };
 
 /** One Remote Indexed Gather command (the IBV_WR_RIG work request). */
@@ -145,6 +154,10 @@ class SnicContext
      * accounting is off (the telemetry-disabled default).
      */
     virtual PrLatencyStats *prLatency() { return nullptr; }
+
+    /** This SNIC's component id in the run's span name table
+     *  (sim/span.hh); only consulted for PRs that carry a span id. */
+    virtual std::uint32_t spanComp() const { return 0; }
 };
 
 /** Statistics of one client RIG unit. */
@@ -215,9 +228,10 @@ class RigClientUnit
     void processChunk();
     void maybeComplete();
     void finish(bool success);
-    /** Build and transmit one read PR. */
+    /** Build and transmit one read PR; @p attempt > 0 on retransmits
+     *  (span events tag re-sends instead of re-opening the span). */
     void sendReadPr(std::uint32_t reqId, PropIdx idx, NodeId dest,
-                    bool bypassCache);
+                    bool bypassCache, std::uint32_t attempt = 0);
     /** Backoff delay before attempt number @p attempts times out. */
     Tick retryDelay(std::uint32_t attempts) const;
     /** Ensure the retry timer fires no later than @p deadline. */

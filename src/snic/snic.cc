@@ -1,6 +1,7 @@
 #include "snic/snic.hh"
 
 #include "sim/logging.hh"
+#include "sim/span.hh"
 #include "sim/trace.hh"
 
 namespace netsparse {
@@ -30,6 +31,15 @@ Snic::Snic(EventQueue &eq, SnicConfig cfg, NodeId self,
                 // NIC egress link (net/pr_latency.hh).
                 for (auto &pr : pkt.prs)
                     pr.egressTick = eq_.now();
+            }
+            if (pkt.spanned) {
+                if (SpanBuffer *sb = eq_.spans()) {
+                    for (const auto &pr : pkt.prs)
+                        if (pr.spanId != 0)
+                            sb->record(pr.spanId, SpanStage::NicEgress,
+                                       spanComp_, eq_.now(), 0,
+                                       pkt.prs.size());
+                }
             }
             egress_->send(std::move(pkt));
         },

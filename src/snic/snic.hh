@@ -126,6 +126,11 @@ class Snic : public PacketSink, public SnicContext
     PcieModel &pcie() override { return pcie_; }
     const std::string &nodeName() const override { return name_; }
     PrLatencyStats *prLatency() override { return prLatency_.get(); }
+    std::uint32_t spanComp() const override { return spanComp_; }
+
+    /** Set this SNIC's id in the run's span component name table
+     *  (sim/span.hh); assigned by the scheduler when spans are on. */
+    void setSpanComp(std::uint32_t comp) { spanComp_ = comp; }
 
     /**
      * Allocate the PR latency collector: the clients start recording
@@ -186,6 +191,8 @@ class Snic : public PacketSink, public SnicContext
     std::unique_ptr<PrLatencyStats> prLatency_;
     Link *egress_ = nullptr;
     std::uint32_t nextServer_ = 0; // Q Control round-robin pointer
+    /** Span component id (sim/span.hh); meaningful only when spans on. */
+    std::uint32_t spanComp_ = 0;
 
     std::uint64_t rxPackets_ = 0;
     std::uint64_t rxBytes_ = 0;
